@@ -1,0 +1,63 @@
+// Command deeprecsys regenerates the paper's evaluation artifacts (tables
+// and figures) from the reimplemented system and prints them as text tables.
+//
+// Usage:
+//
+//	deeprecsys -list
+//	deeprecsys [-full] [-models DLRM-RMC1,DIEN] fig11 fig13 ...
+//	deeprecsys -full all
+//
+// By default experiments run at quick fidelity; -full uses the fidelity
+// recorded in EXPERIMENTS.md (slower: the headline fig11 sweep tunes three
+// schedulers for eight models at three SLA targets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/deeprecinfra/deeprecsys/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available artifacts and exit")
+	full := flag.Bool("full", false, "run at full (recorded) fidelity instead of quick")
+	models := flag.String("models", "", "comma-separated model filter for sweep experiments")
+	seed := flag.Int64("seed", 1, "random seed for all stochastic inputs")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := experiments.Quick()
+	if *full {
+		opt = experiments.Full()
+	}
+	opt.Seed = *seed
+	if *models != "" {
+		opt.Models = strings.Split(*models, ",")
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: deeprecsys [-full] [-list] [-models a,b] <artifact>|all ...")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = experiments.IDs()
+	}
+	for _, id := range args {
+		runner, err := experiments.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(runner(opt))
+	}
+}

@@ -1,0 +1,85 @@
+// Command replay runs a recorded query trace (the CSV format emitted by
+// cmd/loadgen, or captured from a production system) through the serving
+// simulator under an explicit configuration and prints the latency summary.
+// Together with loadgen it closes the loop: generate or capture a trace
+// once, then replay it deterministically against any model, platform, batch
+// size, and offload threshold.
+//
+// Usage:
+//
+//	loadgen -rate 800 -n 5000 > trace.csv
+//	replay -model DLRM-RMC1 -batch 512 < trace.csv
+//	replay -model DLRM-RMC1 -gpu -batch 512 -threshold 256 < trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
+	"github.com/deeprecinfra/deeprecsys/internal/serving"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+func main() {
+	modelName := flag.String("model", "DLRM-RMC1", "zoo model")
+	platformName := flag.String("platform", "skylake", "skylake or broadwell")
+	batch := flag.Int("batch", 256, "per-request batch size")
+	threshold := flag.Int("threshold", 0, "GPU query-size threshold (0 = CPU only)")
+	withGPU := flag.Bool("gpu", false, "provision the accelerator")
+	warmup := flag.Int("warmup", 100, "leading queries excluded from statistics")
+	flag.Parse()
+
+	queries, err := workload.ReadTrace(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := model.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cpu *platform.CPU
+	switch *platformName {
+	case "skylake":
+		cpu = platform.Skylake()
+	case "broadwell":
+		cpu = platform.Broadwell()
+	default:
+		log.Fatalf("replay: unknown platform %q", *platformName)
+	}
+	var gpu *platform.GPU
+	if *withGPU {
+		gpu = platform.DefaultGPU()
+	}
+	engine := serving.NewPlatformEngine(cpu, gpu, cfg)
+	serveCfg := serving.Config{BatchSize: *batch, GPUThreshold: *threshold, Warmup: *warmup}
+	if err := serveCfg.Validate(engine); err != nil {
+		log.Fatal(err)
+	}
+
+	res := serving.Run(engine, serveCfg, queries)
+	span := queries[len(queries)-1].Arrival
+	fmt.Printf("replayed %d queries (%.1f QPS offered) of %s on %s\n",
+		len(queries), res.OfferedQPS, cfg.Name, cpu.Name)
+	fmt.Printf("config: batch %d, threshold %d, trace span %v\n", *batch, *threshold, span.Round(time.Millisecond))
+	fmt.Printf("latency: p50 %s  p95 %s  p99 %s  max %s\n",
+		ms(res.Latency.P50), ms(res.Latency.P95), ms(res.Latency.P99), ms(res.Latency.Max))
+	fmt.Printf("cpu util %.2f", res.CPUUtil)
+	if *withGPU && *threshold > 0 {
+		fmt.Printf("  gpu util %.2f  gpu work share %.0f%%", res.GPUUtil, res.GPUWorkShare*100)
+	}
+	fmt.Println()
+	if sla := cfg.SLAMedium; res.P95() <= sla {
+		fmt.Printf("meets the model's %v p95 SLA\n", sla)
+	} else {
+		fmt.Printf("VIOLATES the model's %v p95 SLA\n", sla)
+	}
+}
+
+func ms(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,92 @@
+// Command sweep measures latency-bounded throughput across a grid of
+// serving configurations for one model: batch sizes, and optionally
+// accelerator query-size thresholds. It is the manual counterpart of
+// DeepRecSched's hill climber, useful for inspecting the whole operating
+// surface rather than the optimum.
+//
+// Usage:
+//
+//	sweep -model DLRM-RMC1 -sla 100ms
+//	sweep -model DLRM-RMC3 -platform broadwell -batches 32,64,128
+//	sweep -model DLRM-RMC1 -gpu -batch 512 -thresholds 1,128,256,512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	deeprecsys "github.com/deeprecinfra/deeprecsys"
+)
+
+func main() {
+	modelName := flag.String("model", "DLRM-RMC1", "zoo model")
+	platformName := flag.String("platform", "skylake", "skylake or broadwell")
+	slaFlag := flag.Duration("sla", 0, "p95 target (default: the model's published target)")
+	batchesFlag := flag.String("batches", "16,32,64,128,256,512,1024", "batch sizes to sweep")
+	withGPU := flag.Bool("gpu", false, "provision the accelerator and sweep thresholds")
+	batchFlag := flag.Int("batch", 0, "fixed CPU batch for threshold sweeps (default: tuned)")
+	thresholdsFlag := flag.String("thresholds", "1,64,128,256,512,768,1001", "GPU thresholds to sweep")
+	queries := flag.Int("queries", 1200, "queries per capacity evaluation")
+	flag.Parse()
+
+	opts := []deeprecsys.Option{deeprecsys.WithSearchFidelity(*queries, 0.03)}
+	if *withGPU {
+		opts = append(opts, deeprecsys.WithGPU())
+	}
+	sys, err := deeprecsys.NewSystem(*modelName, *platformName, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sla := *slaFlag
+	if sla == 0 {
+		sla = sys.SLA()
+	}
+	fmt.Printf("%s on %s, p95 <= %v\n", sys.Model(), sys.Platform(), sla)
+
+	if !*withGPU {
+		fmt.Printf("%-10s%12s%12s%10s\n", "batch", "QPS", "p95", "cpu util")
+		for _, b := range parseInts(*batchesFlag) {
+			d, err := sys.Capacity(b, 0, sla)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10d%12.0f%12v%10.2f\n", b, d.QPS, d.P95.Round(time.Microsecond), d.CPUUtil)
+		}
+		return
+	}
+
+	batch := *batchFlag
+	if batch == 0 {
+		cpuOnly, err := deeprecsys.NewSystem(*modelName, *platformName,
+			deeprecsys.WithSearchFidelity(*queries, 0.03))
+		if err != nil {
+			log.Fatal(err)
+		}
+		batch = cpuOnly.Tune(sla).BatchSize
+		fmt.Printf("tuned CPU batch: %d\n", batch)
+	}
+	fmt.Printf("%-12s%12s%12s%12s\n", "threshold", "QPS", "GPU work%", "GPU util")
+	for _, t := range parseInts(*thresholdsFlag) {
+		d, err := sys.Capacity(batch, t, sla)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12d%12.0f%11.0f%%%12.2f\n", t, d.QPS, d.GPUWorkShare*100, d.GPUUtil)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			log.Fatalf("sweep: bad integer list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+// Package deeprecsys is an open-source reproduction of "DeepRecSys: A System
+// for Optimizing End-To-End At-Scale Neural Recommendation Inference"
+// (Gupta et al., ISCA 2020).
+//
+// The package exposes the two systems the paper builds:
+//
+//   - DeepRecInfra: eight industry-representative neural recommendation
+//     models (NCF, Wide&Deep, MT-Wide&Deep, DLRM-RMC1/2/3, DIN, DIEN) that
+//     execute real forward passes, plus an at-scale serving infrastructure
+//     with Poisson query arrivals, production heavy-tailed query sizes,
+//     per-model SLA tail-latency targets, and calibrated performance models
+//     of server CPUs (Broadwell, Skylake) and a GPU-class accelerator.
+//
+//   - DeepRecSched: a hill-climbing scheduler that maximizes QPS under a
+//     p95 tail-latency target by tuning the per-request batch size
+//     (request- vs batch-level parallelism) and the accelerator query-size
+//     threshold (offloading the heavy tail of queries).
+//
+// A System ties one recommendation model to one hardware platform:
+//
+//	sys, err := deeprecsys.NewSystem("DLRM-RMC1", "skylake", deeprecsys.WithGPU())
+//	decision, err := sys.Tune(100 * time.Millisecond)
+//	fmt.Println(decision.BatchSize, decision.GPUThreshold, decision.QPS)
+//
+// Every table and figure of the paper's evaluation can be regenerated with
+// RunExperiment (or the cmd/deeprecsys CLI); EXPERIMENTS.md records
+// paper-versus-measured values.
+package deeprecsys
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/experiments"
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
+	"github.com/deeprecinfra/deeprecsys/internal/sched"
+	"github.com/deeprecinfra/deeprecsys/internal/serving"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// ModelNames lists the recommendation models of the zoo (the paper's
+// Table I) in reporting order.
+func ModelNames() []string { return model.ZooNames() }
+
+// PlatformNames lists the supported CPU platforms.
+func PlatformNames() []string { return []string{"skylake", "broadwell"} }
+
+// ModelInfo summarizes one zoo model for discovery and display.
+type ModelInfo struct {
+	Name      string
+	Company   string
+	Domain    string
+	Class     string        // runtime bottleneck class (Table II)
+	SLAMedium time.Duration // published tail-latency target (Table II)
+}
+
+// Describe returns the summary of one zoo model.
+func Describe(name string) (ModelInfo, error) {
+	cfg, err := model.ByName(name)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return ModelInfo{
+		Name:      cfg.Name,
+		Company:   cfg.Company,
+		Domain:    cfg.Domain,
+		Class:     cfg.Class.String(),
+		SLAMedium: cfg.SLAMedium,
+	}, nil
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithGPU provisions the GPU-class accelerator modeled in the paper's
+// accelerator study (a GTX 1080Ti-class device).
+func WithGPU() Option {
+	return func(s *System) { s.gpu = platform.DefaultGPU() }
+}
+
+// WithSeed fixes the seed of all stochastic inputs (default 1).
+func WithSeed(seed int64) Option {
+	return func(s *System) { s.seed = seed }
+}
+
+// WithSearchFidelity sets the number of queries per capacity-search
+// evaluation and the rate tolerance of the search. Larger query counts
+// tighten percentile estimates at proportional cost.
+func WithSearchFidelity(queries int, relTol float64) Option {
+	return func(s *System) {
+		s.queries = queries
+		s.relTol = relTol
+	}
+}
+
+// System is one recommendation service: a model from the zoo deployed on a
+// hardware platform under the production query-size distribution.
+type System struct {
+	cfg model.Config
+	cpu *platform.CPU
+	gpu *platform.GPU
+
+	seed    int64
+	queries int
+	relTol  float64
+}
+
+// NewSystem builds a System for a zoo model ("DLRM-RMC1", "NCF", ...) on a
+// platform ("skylake" or "broadwell").
+func NewSystem(modelName, platformName string, opts ...Option) (*System, error) {
+	cfg, err := model.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	var cpu *platform.CPU
+	switch platformName {
+	case "skylake":
+		cpu = platform.Skylake()
+	case "broadwell":
+		cpu = platform.Broadwell()
+	default:
+		return nil, fmt.Errorf("deeprecsys: unknown platform %q (have %v)", platformName, PlatformNames())
+	}
+	s := &System{cfg: cfg, cpu: cpu, seed: 1, queries: 2200, relTol: 0.02}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Model returns the system's model name.
+func (s *System) Model() string { return s.cfg.Name }
+
+// Platform returns the system's platform name.
+func (s *System) Platform() string { return s.cpu.Name }
+
+// HasGPU reports whether the accelerator is provisioned.
+func (s *System) HasGPU() bool { return s.gpu != nil }
+
+// SLA returns the model's published medium tail-latency target.
+func (s *System) SLA() time.Duration { return s.cfg.SLAMedium }
+
+// engine builds the serving engine for this system.
+func (s *System) engine() *serving.PlatformEngine {
+	return serving.NewPlatformEngine(s.cpu, s.gpu, s.cfg)
+}
+
+// searchOpts builds capacity-search options at the system's fidelity.
+func (s *System) searchOpts(sla time.Duration) serving.SearchOpts {
+	opts := serving.DefaultSearchOpts(workload.DefaultProduction(), sla)
+	opts.Seed = s.seed
+	opts.Queries = s.queries
+	opts.RelTol = s.relTol
+	return opts
+}
+
+// Decision is a tuned (or baseline) serving configuration with its measured
+// latency-bounded throughput.
+type Decision struct {
+	// BatchSize is the per-request batch size.
+	BatchSize int
+	// GPUThreshold is the query-size offload threshold (0 = CPU only).
+	GPUThreshold int
+	// QPS is the maximum sustainable arrival rate under the SLA.
+	QPS float64
+	// P95 is the measured tail latency at that rate.
+	P95 time.Duration
+	// CPUUtil and GPUUtil are utilizations at that rate.
+	CPUUtil float64
+	GPUUtil float64
+	// GPUWorkShare is the fraction of candidate-item work offloaded.
+	GPUWorkShare float64
+	// QPSPerWatt is throughput per watt of system power.
+	QPSPerWatt float64
+}
+
+func (s *System) decision(d sched.Decision) Decision {
+	pm := platform.PowerModel{CPU: s.cpu}
+	if d.GPUThreshold > 0 {
+		pm.GPU = s.gpu
+	}
+	return Decision{
+		BatchSize:    d.BatchSize,
+		GPUThreshold: d.GPUThreshold,
+		QPS:          d.QPS,
+		P95:          d.Result.P95(),
+		CPUUtil:      d.Result.CPUUtil,
+		GPUUtil:      d.Result.GPUUtil,
+		GPUWorkShare: d.Result.GPUWorkShare,
+		QPSPerWatt:   pm.QPSPerWatt(d.QPS, d.Result.GPUUtil),
+	}
+}
+
+// Baseline evaluates the production static baseline: a fixed batch size
+// splitting the largest query across all cores, no offload.
+func (s *System) Baseline(sla time.Duration) Decision {
+	return s.decision(sched.StaticBaseline(s.engine(), s.searchOpts(sla)))
+}
+
+// Tune runs DeepRecSched for the given p95 SLA: batch-size hill climbing,
+// plus accelerator-threshold hill climbing when a GPU is provisioned.
+func (s *System) Tune(sla time.Duration) Decision {
+	e := s.engine()
+	opts := s.searchOpts(sla)
+	if s.gpu != nil {
+		return s.decision(sched.DeepRecSchedGPU(e, opts))
+	}
+	return s.decision(sched.DeepRecSchedCPU(e, opts))
+}
+
+// Capacity measures the latency-bounded throughput of an explicit serving
+// configuration (batch size and offload threshold) under the SLA.
+func (s *System) Capacity(batch, gpuThreshold int, sla time.Duration) (Decision, error) {
+	if gpuThreshold > 0 && s.gpu == nil {
+		return Decision{}, fmt.Errorf("deeprecsys: GPU threshold set but no accelerator provisioned (use WithGPU)")
+	}
+	cfg := serving.Config{BatchSize: batch, GPUThreshold: gpuThreshold}
+	if err := cfg.Validate(s.engine()); err != nil {
+		return Decision{}, err
+	}
+	qps, res := serving.MaxQPS(s.engine(), cfg, s.searchOpts(sla))
+	d := sched.Decision{BatchSize: batch, GPUThreshold: gpuThreshold, QPS: qps, Result: res}
+	return s.decision(d), nil
+}
+
+// Recommendation is one ranked candidate item.
+type Recommendation struct {
+	Item int
+	CTR  float32
+}
+
+// Recommend executes the real (not simulated) model on a random query of
+// `candidates` items and returns the top-n ranked by predicted
+// click-through rate — the functional serving path of the paper's Fig. 2,
+// end to end: features → embeddings → interaction → predictor → ranking.
+func (s *System) Recommend(candidates, n int, seed int64) ([]Recommendation, error) {
+	if candidates < 1 {
+		return nil, fmt.Errorf("deeprecsys: need at least one candidate, got %d", candidates)
+	}
+	m, err := model.New(s.cfg, s.seed)
+	if err != nil {
+		return nil, err
+	}
+	in := m.NewInput(rand.New(rand.NewSource(seed)), candidates)
+	ranked := model.RankTopN(m.Forward(in), n)
+	out := make([]Recommendation, len(ranked))
+	for i, r := range ranked {
+		out[i] = Recommendation{Item: r.Item, CTR: r.CTR}
+	}
+	return out, nil
+}
+
+// ExperimentIDs lists the reproducible paper artifacts (tables/figures).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper artifact and returns its rendered
+// report. quick selects reduced fidelity (seconds instead of minutes).
+func RunExperiment(id string, quick bool) (string, error) {
+	runner, err := experiments.Get(id)
+	if err != nil {
+		return "", err
+	}
+	opt := experiments.Full()
+	if quick {
+		opt = experiments.Quick()
+	}
+	return runner(opt).String(), nil
+}

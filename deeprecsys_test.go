@@ -1,0 +1,147 @@
+package deeprecsys_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	deeprecsys "github.com/deeprecinfra/deeprecsys"
+)
+
+func TestModelAndPlatformDiscovery(t *testing.T) {
+	names := deeprecsys.ModelNames()
+	if len(names) != 8 {
+		t.Fatalf("ModelNames returned %d, want 8", len(names))
+	}
+	if got := deeprecsys.PlatformNames(); len(got) != 2 {
+		t.Fatalf("PlatformNames = %v", got)
+	}
+	info, err := deeprecsys.Describe("DIEN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Company != "Alibaba" || info.SLAMedium != 35*time.Millisecond {
+		t.Errorf("Describe(DIEN) = %+v", info)
+	}
+	if _, err := deeprecsys.Describe("nope"); err == nil {
+		t.Error("Describe should fail for unknown model")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := deeprecsys.NewSystem("DLRM-RMC1", "pentium"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := deeprecsys.NewSystem("nope", "skylake"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	sys, err := deeprecsys.NewSystem("DLRM-RMC1", "skylake", deeprecsys.WithGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.HasGPU() || sys.Model() != "DLRM-RMC1" || sys.Platform() != "skylake" {
+		t.Errorf("system misconfigured: %v %v %v", sys.HasGPU(), sys.Model(), sys.Platform())
+	}
+	if sys.SLA() != 100*time.Millisecond {
+		t.Errorf("SLA = %v", sys.SLA())
+	}
+}
+
+func fastSystem(t *testing.T, name string, opts ...deeprecsys.Option) *deeprecsys.System {
+	t.Helper()
+	opts = append(opts, deeprecsys.WithSearchFidelity(600, 0.05))
+	sys, err := deeprecsys.NewSystem(name, "skylake", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestTuneBeatsBaseline(t *testing.T) {
+	sys := fastSystem(t, "DLRM-RMC1")
+	base := sys.Baseline(sys.SLA())
+	tuned := sys.Tune(sys.SLA())
+	if tuned.QPS < base.QPS {
+		t.Errorf("tuned %.0f QPS below baseline %.0f", tuned.QPS, base.QPS)
+	}
+	if base.BatchSize != 25 {
+		t.Errorf("baseline batch = %d, want 25", base.BatchSize)
+	}
+	if tuned.P95 > sys.SLA() {
+		t.Errorf("tuned P95 %v violates SLA %v", tuned.P95, sys.SLA())
+	}
+	if tuned.QPSPerWatt <= 0 {
+		t.Error("QPSPerWatt must be positive")
+	}
+}
+
+func TestTuneWithGPUOffloads(t *testing.T) {
+	sys := fastSystem(t, "DLRM-RMC1", deeprecsys.WithGPU())
+	d := sys.Tune(sys.SLA())
+	if d.GPUThreshold <= 0 {
+		t.Errorf("GPU tuning chose threshold %d, want > 0", d.GPUThreshold)
+	}
+	if d.GPUWorkShare <= 0 {
+		t.Error("no work offloaded")
+	}
+}
+
+func TestCapacityExplicitConfig(t *testing.T) {
+	sys := fastSystem(t, "DIEN")
+	d, err := sys.Capacity(64, 0, sys.SLA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.QPS <= 0 {
+		t.Errorf("capacity = %v", d.QPS)
+	}
+	if _, err := sys.Capacity(64, 100, sys.SLA()); err == nil {
+		t.Error("GPU threshold without accelerator accepted")
+	}
+	if _, err := sys.Capacity(0, 0, sys.SLA()); err == nil {
+		t.Error("zero batch accepted")
+	}
+}
+
+func TestRecommendRanksCTRs(t *testing.T) {
+	sys := fastSystem(t, "NCF")
+	recs, err := sys.Recommend(50, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("got %d recommendations, want 10", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].CTR > recs[i-1].CTR {
+			t.Fatal("recommendations not sorted by CTR")
+		}
+	}
+	for _, r := range recs {
+		if r.CTR < 0 || r.CTR > 1 {
+			t.Fatalf("CTR %v outside [0,1]", r.CTR)
+		}
+		if r.Item < 0 || r.Item >= 50 {
+			t.Fatalf("item %d outside candidate set", r.Item)
+		}
+	}
+	if _, err := sys.Recommend(0, 1, 1); err == nil {
+		t.Error("zero candidates accepted")
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	out, err := deeprecsys.RunExperiment("table2", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DIEN") {
+		t.Errorf("table2 output missing DIEN:\n%s", out)
+	}
+	if _, err := deeprecsys.RunExperiment("fig99", true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if got := deeprecsys.ExperimentIDs(); len(got) != 17 {
+		t.Errorf("ExperimentIDs = %d entries, want 17", len(got))
+	}
+}

@@ -1,0 +1,64 @@
+// Capacity planning: sweep the per-request batch size for one model across
+// its three SLA targets and print the latency-bounded throughput surface —
+// the decision data a capacity planner (or DeepRecSched's hill climber)
+// works from. Demonstrates the paper's central request- vs batch-level
+// parallelism tradeoff (Fig. 9): embedding-dominated models keep gaining
+// from batch-level parallelism while attention-dominated ones peak early.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	deeprecsys "github.com/deeprecinfra/deeprecsys"
+)
+
+func main() {
+	modelName := flag.String("model", "DLRM-RMC1", "zoo model to plan for")
+	platformName := flag.String("platform", "skylake", "skylake or broadwell")
+	flag.Parse()
+
+	sys, err := deeprecsys.NewSystem(*modelName, *platformName,
+		deeprecsys.WithSearchFidelity(800, 0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := deeprecsys.Describe(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("capacity surface for %s (%s, %s) on %s\n",
+		info.Name, info.Domain, info.Class, sys.Platform())
+
+	targets := []time.Duration{info.SLAMedium / 2, info.SLAMedium, info.SLAMedium * 3 / 2}
+	batches := []int{16, 32, 64, 128, 256, 512, 1024}
+
+	fmt.Printf("%-8s", "batch")
+	for _, sla := range targets {
+		fmt.Printf("%12s", "p95<="+sla.String())
+	}
+	fmt.Println()
+	bestBatch := make([]int, len(targets))
+	bestQPS := make([]float64, len(targets))
+	for _, b := range batches {
+		fmt.Printf("%-8d", b)
+		for ti, sla := range targets {
+			d, err := sys.Capacity(b, 0, sla)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%12.0f", d.QPS)
+			if d.QPS > bestQPS[ti] {
+				bestQPS[ti], bestBatch[ti] = d.QPS, b
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-8s", "best")
+	for ti := range targets {
+		fmt.Printf("%12d", bestBatch[ti])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,65 @@
+// GPU offload: show how DeepRecSched-GPU splits work between the CPU pool
+// and a GPU-class accelerator. Queries above a tuned size threshold are
+// offloaded whole; the example prints the threshold sweep, the tuned
+// operating point, and the power-efficiency comparison that decides whether
+// the accelerator is worth provisioning at a given tail-latency target
+// (the paper's Figs. 10 and 14).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	deeprecsys "github.com/deeprecinfra/deeprecsys"
+)
+
+func main() {
+	modelName := flag.String("model", "DLRM-RMC1", "zoo model")
+	flag.Parse()
+
+	gpu, err := deeprecsys.NewSystem(*modelName, "skylake",
+		deeprecsys.WithGPU(), deeprecsys.WithSearchFidelity(800, 0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu, err := deeprecsys.NewSystem(*modelName, "skylake",
+		deeprecsys.WithSearchFidelity(800, 0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sla := gpu.SLA()
+
+	// Tune the CPU-only scheduler first; its batch size also serves the
+	// CPU-side queries of the offload configurations.
+	cpuTuned := cpu.Tune(sla)
+	fmt.Printf("%s @ p95 <= %v\n", *modelName, sla)
+	fmt.Printf("CPU-only tuned: batch %d -> %.0f QPS (%.1f QPS/W)\n\n",
+		cpuTuned.BatchSize, cpuTuned.QPS, cpuTuned.QPSPerWatt)
+
+	fmt.Println("threshold sweep (queries >= threshold go to the accelerator):")
+	fmt.Printf("%-12s%10s%12s%12s\n", "threshold", "QPS", "GPU work%", "GPU util")
+	for _, thr := range []int{1, 64, 128, 256, 512, 1001} {
+		d, err := gpu.Capacity(cpuTuned.BatchSize, thr, sla)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%d", thr)
+		if thr > 1000 {
+			label = "off"
+		}
+		fmt.Printf("%-12s%10.0f%11.0f%%%12.2f\n", label, d.QPS, d.GPUWorkShare*100, d.GPUUtil)
+	}
+
+	tuned := gpu.Tune(sla)
+	fmt.Printf("\nDeepRecSched-GPU: batch %d, threshold %d -> %.0f QPS\n",
+		tuned.BatchSize, tuned.GPUThreshold, tuned.QPS)
+	fmt.Printf("  %.0f%% of item work offloaded, accelerator %.0f%% busy\n",
+		tuned.GPUWorkShare*100, tuned.GPUUtil*100)
+	fmt.Printf("  power efficiency: %.1f QPS/W with GPU vs %.1f CPU-only",
+		tuned.QPSPerWatt, cpuTuned.QPSPerWatt)
+	if tuned.QPSPerWatt < cpuTuned.QPSPerWatt {
+		fmt.Printf("  (CPU-only is the efficient choice at this target)")
+	}
+	fmt.Println()
+}

@@ -1,0 +1,48 @@
+// Quickstart: load a recommendation model from the zoo, serve a real query
+// end to end (embeddings → feature interaction → predictor → ranking), then
+// let DeepRecSched tune the serving configuration for the model's published
+// tail-latency target.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	deeprecsys "github.com/deeprecinfra/deeprecsys"
+)
+
+func main() {
+	// 1. Functional path: rank 100 candidate items for one user with the
+	// Neural Collaborative Filtering model.
+	sys, err := deeprecsys.NewSystem("NCF", "skylake",
+		deeprecsys.WithSearchFidelity(800, 0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := sys.Recommend(100, 5, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-5 recommendations (NCF, 100 candidates):")
+	for rank, r := range recs {
+		fmt.Printf("  #%d item %3d  CTR %.4f\n", rank+1, r.Item, r.CTR)
+	}
+
+	// 2. At-scale path: compare the production static baseline against
+	// DeepRecSched-CPU for the embedding-dominated DLRM-RMC1 at its 100 ms
+	// p95 target.
+	rmc1, err := deeprecsys.NewSystem("DLRM-RMC1", "skylake",
+		deeprecsys.WithSearchFidelity(800, 0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sla := rmc1.SLA()
+	base := rmc1.Baseline(sla)
+	tuned := rmc1.Tune(sla)
+	fmt.Printf("\nDLRM-RMC1 @ p95 <= %v on %s:\n", sla, rmc1.Platform())
+	fmt.Printf("  static baseline: batch %4d  ->  %6.0f QPS (p95 %v)\n",
+		base.BatchSize, base.QPS, base.P95)
+	fmt.Printf("  DeepRecSched:    batch %4d  ->  %6.0f QPS (p95 %v)\n",
+		tuned.BatchSize, tuned.QPS, tuned.P95)
+	fmt.Printf("  throughput gain: %.2fx\n", tuned.QPS/base.QPS)
+}

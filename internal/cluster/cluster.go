@@ -1,0 +1,99 @@
+// Package cluster simulates recommendation inference at datacenter scale:
+// a fleet of serving nodes with realistic node-to-node performance
+// variation, diurnal traffic, and paired A/B evaluation of serving
+// configurations. It backs the paper's fleet experiments: the
+// subsampling-validity study (Fig. 7 — a handful of nodes tracks the
+// datacenter-wide latency distribution) and the production A/B of tuned
+// versus fixed batch sizes over 24 hours of diurnal traffic (Fig. 13).
+//
+// Nodes are statistically independent once queries are assigned: a Poisson
+// arrival stream split uniformly at random over N nodes yields N independent
+// Poisson streams, so each node runs its own discrete-event simulation at
+// rate/N. Node heterogeneity (silicon quality, thermal headroom,
+// co-tenancy) is modeled as a per-node service-time scale factor.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/serving"
+)
+
+// ScaledEngine wraps an Engine, stretching every service time by Factor.
+// Factor 1.05 models a node 5% slower than nominal.
+type ScaledEngine struct {
+	Inner  serving.Engine
+	Factor float64
+}
+
+// NewScaledEngine validates and builds a ScaledEngine.
+func NewScaledEngine(inner serving.Engine, factor float64) *ScaledEngine {
+	if factor <= 0 {
+		panic(fmt.Sprintf("cluster: scale factor must be positive, got %v", factor))
+	}
+	return &ScaledEngine{Inner: inner, Factor: factor}
+}
+
+// CPURequest implements serving.Engine.
+func (s *ScaledEngine) CPURequest(batch, active int) time.Duration {
+	return time.Duration(float64(s.Inner.CPURequest(batch, active)) * s.Factor)
+}
+
+// GPUQuery implements serving.Engine.
+func (s *ScaledEngine) GPUQuery(size int) time.Duration {
+	return time.Duration(float64(s.Inner.GPUQuery(size)) * s.Factor)
+}
+
+// Cores implements serving.Engine.
+func (s *ScaledEngine) Cores() int { return s.Inner.Cores() }
+
+// HasGPU implements serving.Engine.
+func (s *ScaledEngine) HasGPU() bool { return s.Inner.HasGPU() }
+
+// GPUStreams implements serving.Engine.
+func (s *ScaledEngine) GPUStreams() int { return s.Inner.GPUStreams() }
+
+// Node is one serving machine in the fleet.
+type Node struct {
+	ID     int
+	Speed  float64 // service-time scale factor (1 = nominal)
+	Engine serving.Engine
+}
+
+// Fleet is a set of serving nodes running the same model.
+type Fleet struct {
+	Nodes []Node
+}
+
+// NewFleet builds n nodes around the engine supplied by mkEngine, applying
+// per-node speed factors drawn from N(1, jitter²) clamped to ±3 jitter.
+// mkEngine is called once per node so engines never share mutable state.
+func NewFleet(mkEngine func() serving.Engine, n int, jitter float64, seed int64) *Fleet {
+	if n < 1 {
+		panic(fmt.Sprintf("cluster: fleet needs at least one node, got %d", n))
+	}
+	if jitter < 0 {
+		panic(fmt.Sprintf("cluster: negative jitter %v", jitter))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &Fleet{Nodes: make([]Node, n)}
+	for i := range f.Nodes {
+		factor := 1 + rng.NormFloat64()*jitter
+		if min := 1 - 3*jitter; factor < min {
+			factor = min
+		}
+		if max := 1 + 3*jitter; factor > max {
+			factor = max
+		}
+		if factor <= 0 {
+			factor = 0.01
+		}
+		f.Nodes[i] = Node{ID: i, Speed: factor, Engine: NewScaledEngine(mkEngine(), factor)}
+	}
+	return f
+}
+
+// Size returns the number of nodes.
+func (f *Fleet) Size() int { return len(f.Nodes) }

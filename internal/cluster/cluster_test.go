@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
+	"github.com/deeprecinfra/deeprecsys/internal/serving"
+	"github.com/deeprecinfra/deeprecsys/internal/stats"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+func mkRMC1Engine() serving.Engine {
+	cfg, err := model.ByName("DLRM-RMC1")
+	if err != nil {
+		panic(err)
+	}
+	return serving.NewPlatformEngine(platform.Skylake(), nil, cfg)
+}
+
+func TestScaledEngineStretchesTimes(t *testing.T) {
+	inner := mkRMC1Engine()
+	scaled := NewScaledEngine(inner, 2)
+	a := inner.CPURequest(64, 1)
+	b := scaled.CPURequest(64, 1)
+	if b != 2*a {
+		t.Errorf("scaled time %v, want 2x %v", b, a)
+	}
+	if scaled.Cores() != inner.Cores() || scaled.HasGPU() != inner.HasGPU() {
+		t.Error("capability passthrough broken")
+	}
+}
+
+func TestScaledEnginePanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewScaledEngine(mkRMC1Engine(), 0)
+}
+
+func TestNewFleetJitterBounded(t *testing.T) {
+	f := NewFleet(mkRMC1Engine, 50, 0.05, 3)
+	if f.Size() != 50 {
+		t.Fatalf("fleet size %d", f.Size())
+	}
+	for _, n := range f.Nodes {
+		if n.Speed < 0.85 || n.Speed > 1.15 {
+			t.Errorf("node %d speed %v outside ±3 sigma clamp", n.ID, n.Speed)
+		}
+	}
+	// Deterministic under seed.
+	g := NewFleet(mkRMC1Engine, 50, 0.05, 3)
+	for i := range f.Nodes {
+		if f.Nodes[i].Speed != g.Nodes[i].Speed {
+			t.Fatal("fleet jitter not deterministic")
+		}
+	}
+}
+
+func TestNewFleetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewFleet(mkRMC1Engine, 0, 0.05, 1)
+}
+
+func TestDiurnalRateOscillates(t *testing.T) {
+	d := Diurnal{BaseQPS: 1000, Amplitude: 0.3, Period: 24 * time.Hour}
+	peak := d.RateAt(6 * time.Hour)    // sin peaks a quarter into the cycle
+	trough := d.RateAt(18 * time.Hour) // and troughs at three quarters
+	if peak <= 1200 || peak > 1300 {
+		t.Errorf("peak rate %v, want ~1300", peak)
+	}
+	if trough >= 800 || trough < 700 {
+		t.Errorf("trough rate %v, want ~700", trough)
+	}
+	if got := d.RateAt(0); got != 1000 {
+		t.Errorf("rate at t=0 = %v, want base 1000", got)
+	}
+}
+
+func TestDiurnalPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Diurnal{BaseQPS: 100, Amplitude: 1.5, Period: time.Hour}.RateAt(0)
+}
+
+func TestServeOptsValidate(t *testing.T) {
+	bad := []ServeOpts{
+		{},
+		{Sizes: workload.Fixed{Size: 1}, QueriesPerWindow: 10, Warmup: 10, Windows: 1},
+		{Sizes: workload.Fixed{Size: 1}, QueriesPerWindow: 10, Warmup: 1, Windows: 0},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: invalid opts accepted", i)
+		}
+	}
+}
+
+func fastOpts() ServeOpts {
+	return ServeOpts{
+		Sizes:            workload.DefaultProduction(),
+		QueriesPerWindow: 250,
+		Windows:          4,
+		Warmup:           50,
+		Seed:             11,
+	}
+}
+
+func TestFleetSubsetTracksFleetDistribution(t *testing.T) {
+	// Paper Fig. 7: tail latencies measured on a handful of machines track
+	// the datacenter-wide distribution to within ~10%.
+	fleet := NewFleet(mkRMC1Engine, 40, 0.05, 7)
+	traffic := Diurnal{BaseQPS: 40 * 2000, Amplitude: 0.25, Period: 24 * time.Hour}
+	res := fleet.Serve(serving.Config{BatchSize: 256}, traffic, fastOpts())
+
+	all := stats.NewCDF(res.AllLatencies())
+	subset := stats.NewCDF(res.SubsetLatencies(4))
+	rel := all.MaxQuantileRelError(subset, []float64{0.5, 0.75, 0.9, 0.95})
+	if rel > 0.15 {
+		t.Errorf("subset quantile error %.1f%%, want <= 15%%", rel*100)
+	}
+}
+
+func TestFleetServePaired(t *testing.T) {
+	// Same seed and config must reproduce identical fleet results.
+	fleet := NewFleet(mkRMC1Engine, 5, 0.05, 7)
+	traffic := Diurnal{BaseQPS: 5 * 1500, Amplitude: 0.2, Period: 24 * time.Hour}
+	a := fleet.Serve(serving.Config{BatchSize: 128}, traffic, fastOpts())
+	b := fleet.Serve(serving.Config{BatchSize: 128}, traffic, fastOpts())
+	la, lb := a.AllLatencies(), b.AllLatencies()
+	if len(la) != len(lb) {
+		t.Fatalf("lengths differ: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("fleet serving not deterministic")
+		}
+	}
+}
+
+func TestRunABTunedBatchCutsTails(t *testing.T) {
+	// Paper Fig. 13: switching the fleet from the fixed production batch
+	// size to the tuned one cuts p95/p99 tail latency. The effect appears
+	// at production-level utilization, where the static configuration's
+	// per-item inefficiency inflates queueing delay.
+	fleet := NewFleet(mkRMC1Engine, 8, 0.05, 7)
+	traffic := Diurnal{BaseQPS: 8 * 4800, Amplitude: 0.15, Period: 24 * time.Hour}
+	// Static baseline batch on Skylake is 25; the tuned batch for the
+	// embedding-dominated RMC1 is large.
+	ab := fleet.RunAB(
+		serving.Config{BatchSize: 25},
+		serving.Config{BatchSize: 512},
+		traffic, fastOpts())
+	if ab.P95Reduction <= 1 {
+		t.Errorf("p95 reduction %.2fx, want > 1", ab.P95Reduction)
+	}
+	if ab.P99Reduction <= 1 {
+		t.Errorf("p99 reduction %.2fx, want > 1", ab.P99Reduction)
+	}
+}
+
+func TestFleetResultSubsetClamps(t *testing.T) {
+	fleet := NewFleet(mkRMC1Engine, 2, 0, 1)
+	traffic := Diurnal{BaseQPS: 2 * 500, Amplitude: 0, Period: time.Hour}
+	opts := fastOpts()
+	opts.Windows = 1
+	res := fleet.Serve(serving.Config{BatchSize: 64}, traffic, opts)
+	if got := len(res.SubsetLatencies(10)); got != len(res.AllLatencies()) {
+		t.Errorf("subset clamp: %d vs %d", got, len(res.AllLatencies()))
+	}
+}

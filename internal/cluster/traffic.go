@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/serving"
+	"github.com/deeprecinfra/deeprecsys/internal/stats"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// Diurnal models the daily traffic cycle of a global web service: the fleet
+// arrival rate oscillates sinusoidally around BaseQPS with the given
+// relative Amplitude over each Period (24 h in the paper's production
+// deployment study).
+type Diurnal struct {
+	BaseQPS   float64
+	Amplitude float64 // relative, in [0, 1)
+	Period    time.Duration
+}
+
+// RateAt returns the fleet-wide arrival rate at time t into the cycle.
+func (d Diurnal) RateAt(t time.Duration) float64 {
+	if d.BaseQPS <= 0 {
+		panic(fmt.Sprintf("cluster: diurnal base rate must be positive, got %v", d.BaseQPS))
+	}
+	if d.Amplitude < 0 || d.Amplitude >= 1 {
+		panic(fmt.Sprintf("cluster: diurnal amplitude %v out of [0,1)", d.Amplitude))
+	}
+	phase := 2 * math.Pi * float64(t) / float64(d.Period)
+	return d.BaseQPS * (1 + d.Amplitude*math.Sin(phase))
+}
+
+// ServeOpts parameterizes a fleet serving run.
+type ServeOpts struct {
+	Sizes            workload.SizeDist
+	QueriesPerWindow int // per node per traffic window
+	Windows          int // traffic windows per run (e.g. 24 hourly windows)
+	Warmup           int // per node per window
+	Seed             int64
+}
+
+// Validate checks the options.
+func (o ServeOpts) Validate() error {
+	if o.Sizes == nil {
+		return fmt.Errorf("cluster: ServeOpts.Sizes required")
+	}
+	if o.QueriesPerWindow <= o.Warmup {
+		return fmt.Errorf("cluster: QueriesPerWindow (%d) must exceed Warmup (%d)", o.QueriesPerWindow, o.Warmup)
+	}
+	if o.Windows < 1 {
+		return fmt.Errorf("cluster: Windows must be >= 1, got %d", o.Windows)
+	}
+	return nil
+}
+
+// NodeResult is one node's aggregate latencies over a run (seconds).
+type NodeResult struct {
+	NodeID    int
+	Latencies []float64
+}
+
+// FleetResult aggregates a fleet serving run.
+type FleetResult struct {
+	PerNode []NodeResult
+}
+
+// AllLatencies returns every measured latency across the fleet.
+func (r FleetResult) AllLatencies() []float64 {
+	var all []float64
+	for _, n := range r.PerNode {
+		all = append(all, n.Latencies...)
+	}
+	return all
+}
+
+// Summary summarizes the fleet-wide latency distribution.
+func (r FleetResult) Summary() stats.Summary { return stats.Summarize(r.AllLatencies()) }
+
+// SubsetLatencies returns the latencies of the first k nodes — the
+// "handful of machines" of the paper's subsampling study.
+func (r FleetResult) SubsetLatencies(k int) []float64 {
+	if k > len(r.PerNode) {
+		k = len(r.PerNode)
+	}
+	var all []float64
+	for _, n := range r.PerNode[:k] {
+		all = append(all, n.Latencies...)
+	}
+	return all
+}
+
+// Serve runs the fleet under diurnal traffic with one serving configuration.
+// Each node receives an independent Poisson stream at the window's per-node
+// rate; streams are seeded per (node, window) so that runs with different
+// configurations see identical arrival processes — paired comparison.
+func (f *Fleet) Serve(cfg serving.Config, traffic Diurnal, opts ServeOpts) FleetResult {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	res := FleetResult{PerNode: make([]NodeResult, len(f.Nodes))}
+	for ni, node := range f.Nodes {
+		res.PerNode[ni].NodeID = node.ID
+		var lats []float64
+		for w := 0; w < opts.Windows; w++ {
+			t := time.Duration(float64(traffic.Period) * (float64(w) + 0.5) / float64(opts.Windows))
+			nodeRate := traffic.RateAt(t) / float64(len(f.Nodes))
+			seed := opts.Seed + int64(node.ID)*100003 + int64(w)*1009
+			gen := workload.NewGenerator(workload.Poisson{RatePerSec: nodeRate}, opts.Sizes, seed)
+			runCfg := cfg
+			runCfg.Warmup = opts.Warmup
+			r := serving.Run(node.Engine, runCfg, gen.Take(opts.QueriesPerWindow))
+			lats = append(lats, r.LatencySamples...)
+		}
+		res.PerNode[ni].Latencies = lats
+	}
+	return res
+}
+
+// ABResult compares two serving configurations over identical traffic.
+type ABResult struct {
+	A, B stats.Summary
+	// P95Reduction and P99Reduction are A's tails over B's: values above 1
+	// mean configuration B (the tuned one) is better.
+	P95Reduction float64
+	P99Reduction float64
+}
+
+// RunAB serves the same diurnal traffic under configurations a and b and
+// reports tail-latency reductions of b relative to a — the paper's
+// production A/B methodology (Fig. 13: fixed vs tuned batch size over 24 h,
+// hundreds of machines).
+func (f *Fleet) RunAB(a, b serving.Config, traffic Diurnal, opts ServeOpts) ABResult {
+	ra := f.Serve(a, traffic, opts)
+	rb := f.Serve(b, traffic, opts)
+	sa, sb := ra.Summary(), rb.Summary()
+	return ABResult{
+		A:            sa,
+		B:            sb,
+		P95Reduction: sa.P95 / sb.P95,
+		P99Reduction: sa.P99 / sb.P99,
+	}
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
+	"github.com/deeprecinfra/deeprecsys/internal/trace"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// Table1 regenerates the paper's Table I: the architectural features of the
+// eight recommendation models.
+func Table1() Report {
+	r := Report{
+		ID:     "table1",
+		Title:  "Architectural features of the recommendation model zoo",
+		Header: []string{"Model", "Company", "Domain", "Dense-FC", "Predict-FC", "Tables", "Lookups", "Pooling"},
+	}
+	for _, cfg := range model.Zoo() {
+		dense := "-"
+		if len(cfg.DenseFC) > 0 {
+			dense = intsDash(cfg.DenseFC)
+		} else if cfg.DenseInDim > 0 {
+			dense = fmt.Sprintf("passthrough(%d)", cfg.DenseInDim)
+		}
+		predict := intsDash(cfg.PredictFC)
+		if cfg.NumTasks > 1 {
+			predict = fmt.Sprintf("%dx(%s)", cfg.NumTasks, predict)
+		}
+		pooling := cfg.Pool.String()
+		switch cfg.SeqPool {
+		case model.SeqAttention:
+			pooling = "attention+FC"
+		case model.SeqAUGRU:
+			pooling = "attention+RNN"
+		}
+		if cfg.UseGMF {
+			pooling = "GMF+" + pooling
+		}
+		lookups := fmt.Sprintf("%d", cfg.LookupsPerTable)
+		if cfg.SeqPool != model.SeqNone {
+			lookups = fmt.Sprintf("%d (seq %d)", cfg.LookupsPerTable, cfg.SeqLen)
+		}
+		r.AddRow(cfg.Name, cfg.Company, cfg.Domain, dense, predict,
+			fmt.Sprintf("%d", cfg.NumTables), lookups, pooling)
+	}
+	return r
+}
+
+func intsDash(xs []int) string {
+	s := ""
+	for i, x := range xs {
+		if i > 0 {
+			s += "-"
+		}
+		s += fmt.Sprintf("%d", x)
+	}
+	return s
+}
+
+// Table2 regenerates the paper's Table II: runtime bottleneck class and SLA
+// target per model, cross-checked against the measured operator breakdown.
+func Table2() Report {
+	r := Report{
+		ID:     "table2",
+		Title:  "Runtime bottlenecks and SLA targets",
+		Header: []string{"Model", "Class", "Dominant op (measured, batch 64)", "SLA target"},
+	}
+	skl := platform.Skylake()
+	for _, cfg := range model.Zoo() {
+		dom := trace.DominantOperator(trace.OpBreakdown(cfg, skl, 64))
+		r.AddRow(cfg.Name, cfg.Class.String(),
+			fmt.Sprintf("%s (%.0f%%)", dom.Operator, dom.Fraction*100),
+			cfg.SLAMedium.String())
+	}
+	return r
+}
+
+// Fig1 regenerates the paper's Fig. 1: the roofline placement of the model
+// zoo against CNN/RNN reference workloads (a) and the dense/sparse memory
+// traffic split (b).
+func Fig1() Report {
+	r := Report{
+		ID:     "fig1",
+		Title:  "Roofline characterization vs CNN/RNN references (Skylake)",
+		Header: []string{"Workload", "FLOPs/B", "Attainable GFLOP/s", "Bound", "Sparse-byte %"},
+	}
+	skl := platform.Skylake()
+	add := func(p trace.RooflinePoint) {
+		bound := "memory"
+		if p.ComputeBound {
+			bound = "compute"
+		}
+		r.AddRow(p.Name, fmt.Sprintf("%.1f", p.Intensity),
+			fmt.Sprintf("%.0f", p.AttainableGFLOPs), bound,
+			fmt.Sprintf("%.0f%%", p.SparseByteFraction*100))
+	}
+	for _, p := range trace.Roofline(model.Zoo(), skl) {
+		add(p)
+	}
+	for _, p := range trace.ReferenceRoofline(skl) {
+		add(p)
+	}
+	return r
+}
+
+// Fig3 regenerates the paper's Fig. 3: the operator execution-time breakdown
+// of every model at batch size 64.
+func Fig3() Report {
+	r := Report{
+		ID:     "fig3",
+		Title:  "Operator time breakdown at batch 64 (Skylake, single core)",
+		Header: []string{"Model", "FC", "Embedding", "Attention", "Recurrent", "DenseInput", "Other"},
+	}
+	skl := platform.Skylake()
+	for _, cfg := range model.Zoo() {
+		shares := trace.OpBreakdown(cfg, skl, 64)
+		byOp := map[string]float64{}
+		for _, s := range shares {
+			byOp[s.Operator] = s.Fraction
+		}
+		r.AddRow(cfg.Name,
+			pct(byOp["FC"]), pct(byOp["Embedding"]), pct(byOp["Attention"]),
+			pct(byOp["Recurrent"]), pct(byOp["DenseInput"]), pct(byOp["Other"]))
+	}
+	return r
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
+
+// Fig4 regenerates the paper's Fig. 4: accelerator speedup over a CPU across
+// batch sizes, with the crossover batch size annotated per model.
+func Fig4() Report {
+	r := Report{
+		ID:     "fig4",
+		Title:  "GPU speedup over CPU vs batch size",
+		Header: []string{"Model", "x1", "x16", "x64", "x256", "x1024", "crossover", "transfer% @1024"},
+	}
+	skl, gpu := platform.Skylake(), platform.DefaultGPU()
+	for _, cfg := range model.Zoo() {
+		p := model.BuildProfile(cfg)
+		row := []string{cfg.Name}
+		for _, size := range []int{1, 16, 64, 256, 1024} {
+			row = append(row, fmt.Sprintf("%.2f", gpu.Speedup(skl, p, size)))
+		}
+		row = append(row, fmt.Sprintf("%d", gpu.CrossoverSize(skl, p, 4096)))
+		frac := float64(gpu.TransferTime(p, 1024)) / float64(gpu.QueryTime(p, 1024))
+		row = append(row, pct(frac))
+		r.AddRow(row...)
+	}
+	return r
+}
+
+// Fig5Data holds the structured output of Fig5 for programmatic checks.
+type Fig5Data struct {
+	Name                    string
+	P50, P75, P90, P99, Max int
+	TailMassOver600         float64
+}
+
+// Fig5 regenerates the paper's Fig. 5: the production query-size
+// distribution against lognormal and normal alternatives, with the p75
+// small/large boundary and the heavy tail quantified.
+func Fig5(opt Options) (Report, []Fig5Data) {
+	r := Report{
+		ID:     "fig5",
+		Title:  "Query working-set size distributions",
+		Header: []string{"Distribution", "p50", "p75", "p90", "p99", "max", "P(size>=600)"},
+	}
+	dists := []workload.SizeDist{
+		workload.DefaultProduction(),
+		workload.DefaultLogNormal(),
+		workload.Normal{Mean: 100, Stddev: 40},
+	}
+	var data []Fig5Data
+	for _, d := range dists {
+		n := opt.DistSamples
+		rng := rand.New(rand.NewSource(opt.Seed))
+		over := 0
+		for i := 0; i < n; i++ {
+			if d.Sample(rng) >= 600 {
+				over++
+			}
+		}
+		fd := Fig5Data{
+			Name:            d.Name(),
+			P50:             workload.Quantile(d, 0.50, n, opt.Seed),
+			P75:             workload.Quantile(d, 0.75, n, opt.Seed),
+			P90:             workload.Quantile(d, 0.90, n, opt.Seed),
+			P99:             workload.Quantile(d, 0.99, n, opt.Seed),
+			Max:             workload.Quantile(d, 1.0, n, opt.Seed),
+			TailMassOver600: float64(over) / float64(n),
+		}
+		data = append(data, fd)
+		r.AddRow(fd.Name, fmt.Sprintf("%d", fd.P50), fmt.Sprintf("%d", fd.P75),
+			fmt.Sprintf("%d", fd.P90), fmt.Sprintf("%d", fd.P99),
+			fmt.Sprintf("%d", fd.Max), fmt.Sprintf("%.3f", fd.TailMassOver600))
+	}
+	return r, data
+}
+
+// Fig6Data holds the structured output of Fig6.
+type Fig6Data struct {
+	Model string
+	// SmallCPUShare is the fraction of total CPU execution time spent on
+	// queries at or below the p75 size.
+	SmallCPUShare float64
+	// LargeGPUSpeedup is the accelerator speedup aggregated over the
+	// large-query (>p75) population.
+	LargeGPUSpeedup float64
+}
+
+// Fig6 regenerates the paper's Fig. 6: execution time aggregated over the
+// query-size distribution, split at the p75 boundary, for CPU and GPU.
+func Fig6(opt Options) (Report, []Fig6Data) {
+	r := Report{
+		ID:     "fig6",
+		Title:  "Aggregated execution time by query-size class (<=p75 vs >p75)",
+		Header: []string{"Model", "CPU small%", "CPU large%", "GPU speedup on large", "GPU speedup on small"},
+	}
+	prod := workload.DefaultProduction()
+	p75 := workload.Quantile(prod, 0.75, opt.DistSamples, opt.Seed)
+	skl, gpu := platform.Skylake(), platform.DefaultGPU()
+
+	var data []Fig6Data
+	for _, name := range opt.modelNames(model.ZooNames()) {
+		cfg, err := model.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		p := model.BuildProfile(cfg)
+		rng := rand.New(rand.NewSource(opt.Seed))
+		var cpuSmall, cpuLarge, gpuSmall, gpuLarge time.Duration
+		n := opt.DistSamples / 10
+		if n < 2000 {
+			n = 2000
+		}
+		for i := 0; i < n; i++ {
+			size := prod.Sample(rng)
+			cpu := skl.RequestTime(p, size, 1)
+			acc := gpu.QueryTime(p, size)
+			if size <= p75 {
+				cpuSmall += cpu
+				gpuSmall += acc
+			} else {
+				cpuLarge += cpu
+				gpuLarge += acc
+			}
+		}
+		totalCPU := cpuSmall + cpuLarge
+		fd := Fig6Data{
+			Model:           cfg.Name,
+			SmallCPUShare:   float64(cpuSmall) / float64(totalCPU),
+			LargeGPUSpeedup: float64(cpuLarge) / float64(gpuLarge),
+		}
+		data = append(data, fd)
+		r.AddRow(cfg.Name, pct(fd.SmallCPUShare), pct(1-fd.SmallCPUShare),
+			fmt.Sprintf("%.2fx", fd.LargeGPUSpeedup),
+			fmt.Sprintf("%.2fx", float64(cpuSmall)/float64(gpuSmall)))
+	}
+	r.AddNote("p75 query size boundary = %d items", p75)
+	return r, data
+}

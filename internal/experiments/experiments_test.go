@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+)
+
+func TestReportRendering(t *testing.T) {
+	r := Report{ID: "x", Title: "T", Header: []string{"a", "b"}}
+	r.AddRow("1", "2")
+	r.AddNote("n=%d", 3)
+	out := r.String()
+	for _, want := range []string{"== x: T ==", "a", "1", "note: n=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"table1", "table2", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig9", "fig10", "fig11", "fig12a", "fig12b", "fig12c", "fig13", "fig14",
+		"ablation",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d artifacts, want %d: %v", len(ids), len(want), ids)
+	}
+	for _, id := range want {
+		if _, err := Get(id); err != nil {
+			t.Errorf("missing artifact %s: %v", id, err)
+		}
+	}
+	if _, err := Get("fig99"); err == nil {
+		t.Error("Get should fail for unknown artifact")
+	}
+}
+
+func TestStaticArtifactsHaveRows(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "fig1", "fig3", "fig4"} {
+		runner, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := runner(Quick())
+		if len(r.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+}
+
+func TestTable1CoversZoo(t *testing.T) {
+	r := Table1()
+	if len(r.Rows) != 8 {
+		t.Fatalf("Table1 has %d rows, want 8", len(r.Rows))
+	}
+}
+
+func TestFig5ProductionHeavierTail(t *testing.T) {
+	_, data := Fig5(Quick())
+	byName := map[string]Fig5Data{}
+	for _, d := range data {
+		byName[d.Name] = d
+	}
+	prod := byName["production"]
+	var ln Fig5Data
+	for name, d := range byName {
+		if strings.HasPrefix(name, "lognormal") {
+			ln = d
+		}
+	}
+	if prod.TailMassOver600 <= 2*ln.TailMassOver600 {
+		t.Errorf("production tail %v should far exceed lognormal %v",
+			prod.TailMassOver600, ln.TailMassOver600)
+	}
+	if prod.Max != 1000 {
+		t.Errorf("production max = %d, want 1000", prod.Max)
+	}
+	if prod.P75 <= prod.P50 {
+		t.Error("p75 must exceed p50")
+	}
+}
+
+func TestFig6SmallQueriesOverHalfOfCPUTime(t *testing.T) {
+	// Paper: despite the long tail, queries at or below the p75 size
+	// constitute over half the CPU execution time for no model far less,
+	// and large queries see multi-x accelerator speedups.
+	opt := Quick()
+	_, data := Fig6(opt)
+	if len(data) != 8 {
+		t.Fatalf("Fig6 covered %d models, want 8", len(data))
+	}
+	for _, d := range data {
+		if d.SmallCPUShare < 0.30 || d.SmallCPUShare > 0.80 {
+			t.Errorf("%s: small-query CPU share %.2f outside plausible band", d.Model, d.SmallCPUShare)
+		}
+		if d.LargeGPUSpeedup <= 1 {
+			t.Errorf("%s: GPU must accelerate large queries, got %.2fx", d.Model, d.LargeGPUSpeedup)
+		}
+	}
+	// Aggregate claim: small queries are >= half the time on average.
+	var sum float64
+	for _, d := range data {
+		sum += d.SmallCPUShare
+	}
+	if avg := sum / float64(len(data)); avg < 0.45 {
+		t.Errorf("average small-query CPU share %.2f, want >= 0.45", avg)
+	}
+}
+
+func TestFig9OptimalBatchShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity sweeps are slow")
+	}
+	opt := Quick()
+	_, data := Fig9(opt)
+	best := map[string]map[time.Duration]Fig9Data{}
+	for _, d := range data {
+		if best[d.Model] == nil {
+			best[d.Model] = map[time.Duration]Fig9Data{}
+		}
+		if cur, ok := best[d.Model][d.SLA]; !ok || d.QPS > cur.QPS {
+			best[d.Model][d.SLA] = d
+		}
+	}
+	// Embedding-dominated RMC1 peaks at a larger batch than
+	// attention-dominated DIEN at their medium targets.
+	rmc1 := best["DLRM-RMC1"][100*time.Millisecond]
+	dien := best["DIEN"][35*time.Millisecond]
+	if rmc1.Batch <= dien.Batch {
+		t.Errorf("RMC1 optimal batch (%d) should exceed DIEN (%d)", rmc1.Batch, dien.Batch)
+	}
+	if dien.Batch > 128 {
+		t.Errorf("DIEN optimal batch = %d, want <= 128 (paper: 64)", dien.Batch)
+	}
+}
+
+func TestFig10ThresholdCurveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity sweeps are slow")
+	}
+	opt := Quick()
+	opt.Models = []string{"DLRM-RMC1"}
+	_, data := Fig10(opt)
+	var allGPU, best float64
+	for _, d := range data {
+		if d.Threshold == 1 {
+			allGPU = d.QPS
+		}
+		if d.QPS > best {
+			best = d.QPS
+		}
+	}
+	if best <= allGPU {
+		t.Errorf("an intermediate threshold (%v) must beat all-GPU (%v)", best, allGPU)
+	}
+}
+
+func TestFig11HeadlineGains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline sweep is slow")
+	}
+	opt := Quick()
+	opt.Models = []string{"DLRM-RMC1", "DLRM-RMC3", "NCF", "DIEN"}
+	_, data := Fig11(opt)
+	for _, level := range model.AllSLATargets() {
+		cpu, gpu := GeoMeanGains(data, level)
+		// Paper: CPU 1.7-2.7x, GPU 4.0-5.8x. The shapes to preserve:
+		// tuned beats static substantially, and the accelerator beats
+		// CPU-only substantially.
+		if cpu < 1.3 {
+			t.Errorf("%v: CPU geomean gain %.2fx, want >= 1.3x", level, cpu)
+		}
+		if gpu < cpu {
+			t.Errorf("%v: GPU geomean gain %.2fx below CPU %.2fx", level, gpu, cpu)
+		}
+		if gpu < 2 {
+			t.Errorf("%v: GPU geomean gain %.2fx, want >= 2x", level, gpu)
+		}
+	}
+	// Every model individually: tuned >= baseline at every target.
+	for _, d := range data {
+		if d.CPUQPS < d.BaselineQPS {
+			t.Errorf("%s/%v: DRS-CPU %.0f below baseline %.0f", d.Model, d.Level, d.CPUQPS, d.BaselineQPS)
+		}
+		if d.GPUQPS < d.CPUQPS {
+			t.Errorf("%s/%v: DRS-GPU %.0f below DRS-CPU %.0f", d.Model, d.Level, d.GPUQPS, d.CPUQPS)
+		}
+	}
+}
+
+func TestFig12aDistributionSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity sweeps are slow")
+	}
+	_, data := Fig12a(Quick())
+	for _, d := range data {
+		// Lognormal tuning must never pick a larger batch than production
+		// tuning (paper: strictly lower), and applying it to production
+		// traffic must not help.
+		if d.LogNormalBatch > d.ProdBatch {
+			t.Errorf("%v: lognormal batch %v above production %v", d.Level, d.LogNormalBatch, d.ProdBatch)
+		}
+		if d.MistunePenalty < 1 {
+			t.Errorf("%v: mistune penalty %.2fx below 1", d.Level, d.MistunePenalty)
+		}
+	}
+}
+
+func TestFig12bComputeModelsPreferSmallerBatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity sweeps are slow")
+	}
+	_, data := Fig12b(Quick())
+	batches := map[string]int{}
+	for _, d := range data {
+		batches[d.Model] = d.Batch
+	}
+	if batches["DLRM-RMC1"] < batches["WnD"] {
+		t.Errorf("embedding-heavy RMC1 (%d) should use a batch at least as large as WnD (%d)",
+			batches["DLRM-RMC1"], batches["WnD"])
+	}
+}
+
+func TestFig12cBroadwellPrefersLargerBatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity sweeps are slow")
+	}
+	_, data := Fig12c(Quick())
+	batch := map[string]map[model.SLATarget]int{}
+	for _, d := range data {
+		if batch[d.Platform] == nil {
+			batch[d.Platform] = map[model.SLATarget]int{}
+		}
+		batch[d.Platform][d.Level] = d.Batch
+	}
+	// At the most relaxed target (the paper's 175 ms point), Broadwell's
+	// inclusive-cache contention pushes its optimum at least as high as
+	// Skylake's relative to each platform's own span, and both platforms'
+	// optima grow with the target.
+	for _, p := range []string{"broadwell", "skylake"} {
+		if batch[p][model.SLAHigh] < batch[p][model.SLALow] {
+			t.Errorf("%s: optimal batch shrank as target relaxed: %v", p, batch[p])
+		}
+	}
+}
+
+func TestFig7SubsetTracksFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet sims are slow")
+	}
+	_, data := Fig7(Quick())
+	if len(data) != 2 {
+		t.Fatalf("Fig7 covered %d combos, want 2", len(data))
+	}
+	for _, d := range data {
+		if d.SubsetQuantileErr > 0.20 {
+			t.Errorf("%s/%s: subset quantile error %.1f%%, want <= 20%%",
+				d.Model, d.Platform, d.SubsetQuantileErr*100)
+		}
+	}
+}
+
+func TestFig13TunedBatchCutsTails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet sims are slow")
+	}
+	_, d := Fig13(Quick())
+	if d.P95Reduction <= 1 {
+		t.Errorf("p95 reduction %.2fx, want > 1 (paper 1.39x)", d.P95Reduction)
+	}
+	if d.P99Reduction <= 1 {
+		t.Errorf("p99 reduction %.2fx, want > 1 (paper 1.31x)", d.P99Reduction)
+	}
+	if d.TunedBatch <= d.StaticBatch {
+		t.Errorf("tuned batch %d should exceed static %d", d.TunedBatch, d.StaticBatch)
+	}
+}
+
+func TestAblationMechanisms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity sweeps are slow")
+	}
+	opt := Quick()
+	opt.Models = []string{"DLRM-RMC1"}
+	_, data := Ablation(opt)
+	byVariant := map[string]AblationData{}
+	for _, d := range data {
+		byVariant[d.Variant] = d
+	}
+	full := byVariant["full-model"]
+	if full.GainOverB <= 1.2 {
+		t.Fatalf("full model gain %.2fx, want > 1.2x", full.GainOverB)
+	}
+	// Knocking out batch-dependent gather efficiency must collapse most of
+	// the embedding model's tuning gain: it is the mechanism behind the
+	// paper's large-batch findings for DLRM-RMC1.
+	noGather := byVariant["no-gather-batching"]
+	if noGather.GainOverB >= (full.GainOverB+1)/2 {
+		t.Errorf("no-gather-batching gain %.2fx should collapse well below full %.2fx",
+			noGather.GainOverB, full.GainOverB)
+	}
+}
+
+func TestFig14Frontier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity sweeps are slow")
+	}
+	_, data := Fig14(Quick())
+	if len(data) < 4 {
+		t.Fatalf("Fig14 has %d points", len(data))
+	}
+	tight := data[0]
+	loose := data[len(data)-1]
+	// GPU unlocks tighter targets: at the tightest target the accelerator
+	// configuration must dominate CPU-only by a wide margin.
+	if tight.GPUQPS < 2*tight.CPUQPS {
+		t.Errorf("at tightest target GPU QPS %.0f should be >= 2x CPU %.0f", tight.GPUQPS, tight.CPUQPS)
+	}
+	// Power-efficiency flip: GPU wins at the tightest target, CPU-only at
+	// the loosest.
+	if tight.GPUQPSPerWatt <= tight.CPUQPSPerWatt {
+		t.Errorf("at tightest target GPU QPS/W %.2f should beat CPU %.2f",
+			tight.GPUQPSPerWatt, tight.CPUQPSPerWatt)
+	}
+	if loose.CPUQPSPerWatt <= loose.GPUQPSPerWatt {
+		t.Errorf("at loosest target CPU QPS/W %.2f should beat GPU %.2f",
+			loose.CPUQPSPerWatt, loose.GPUQPSPerWatt)
+	}
+	// Throughput grows (weakly) as the target relaxes.
+	if loose.CPUQPS < tight.CPUQPS || loose.GPUQPS < tight.GPUQPS {
+		t.Error("capacity should not shrink as the tail target relaxes")
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/cluster"
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
+	"github.com/deeprecinfra/deeprecsys/internal/sched"
+	"github.com/deeprecinfra/deeprecsys/internal/serving"
+	"github.com/deeprecinfra/deeprecsys/internal/stats"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// nodeJitter is the node-to-node service-time variation of the simulated
+// fleet (silicon/thermal/co-tenancy spread).
+const nodeJitter = 0.05
+
+// fleetFor builds a fleet of nodes serving one zoo model on one platform.
+func fleetFor(name string, cpu *platform.CPU, nodes int, seed int64) (*cluster.Fleet, model.Config) {
+	cfg, err := model.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	mk := func() serving.Engine { return serving.NewPlatformEngine(cpu, nil, cfg) }
+	return cluster.NewFleet(mk, nodes, nodeJitter, seed), cfg
+}
+
+// fleetOpts converts experiment options into cluster serving options.
+func (o Options) fleetOpts() cluster.ServeOpts {
+	return cluster.ServeOpts{
+		Sizes:            workload.DefaultProduction(),
+		QueriesPerWindow: o.QueriesPerWindow,
+		Windows:          o.FleetWindows,
+		Warmup:           o.Warmup / 2,
+		Seed:             o.Seed,
+	}
+}
+
+// Fig7Data is one (model, platform) subsampling comparison.
+type Fig7Data struct {
+	Model    string
+	Platform string
+	// SubsetQuantileErr is the worst relative error between the fleet-wide
+	// and few-node latency quantiles (p50..p95).
+	SubsetQuantileErr float64
+}
+
+// Fig7 regenerates the paper's Fig. 7: the latency distribution measured on
+// a handful of nodes tracks the datacenter-wide distribution (within ~10% in
+// the paper) for two models on two server generations.
+func Fig7(opt Options) (Report, []Fig7Data) {
+	r := Report{
+		ID:     "fig7",
+		Title:  "Fleet vs few-node latency distributions (subsampling validity)",
+		Header: []string{"Model", "Platform", "fleet p95 (ms)", "subset p95 (ms)", "max quantile err"},
+	}
+	combos := []struct {
+		model string
+		cpu   *platform.CPU
+	}{
+		{"DLRM-RMC1", platform.Skylake()},
+		{"DLRM-RMC3", platform.Broadwell()},
+	}
+	var data []Fig7Data
+	for _, combo := range combos {
+		fleet, _ := fleetFor(combo.model, combo.cpu, opt.FleetNodes, opt.Seed)
+		// Moderate utilization, fixed batch: the study is about
+		// distributional similarity, not scheduling.
+		perNode := 2500.0
+		if combo.model == "DLRM-RMC3" {
+			perNode = 700
+		}
+		traffic := cluster.Diurnal{
+			BaseQPS:   perNode * float64(opt.FleetNodes),
+			Amplitude: 0.2,
+			Period:    24 * time.Hour,
+		}
+		res := fleet.Serve(serving.Config{BatchSize: 128}, traffic, opt.fleetOpts())
+		all := stats.NewCDF(res.AllLatencies())
+		k := opt.FleetNodes / 10
+		if k < 2 {
+			k = 2
+		}
+		subset := stats.NewCDF(res.SubsetLatencies(k))
+		err := all.MaxQuantileRelError(subset, []float64{0.5, 0.75, 0.9, 0.95})
+		d := Fig7Data{Model: combo.model, Platform: combo.cpu.Name, SubsetQuantileErr: err}
+		data = append(data, d)
+		r.AddRow(combo.model, combo.cpu.Name,
+			fmt.Sprintf("%.2f", all.Quantile(0.95)*1000),
+			fmt.Sprintf("%.2f", subset.Quantile(0.95)*1000),
+			fmt.Sprintf("%.1f%%", err*100))
+	}
+	r.AddNote("paper: individual machines track the datacenter distribution to within ~9-10%%")
+	return r, data
+}
+
+// Fig13Data is the production A/B outcome.
+type Fig13Data struct {
+	StaticBatch  int
+	TunedBatch   int
+	P95Reduction float64
+	P99Reduction float64
+}
+
+// Fig13 regenerates the paper's Fig. 13: a fleet A/B of the tuned batch size
+// against the fixed production configuration over a day of diurnal traffic.
+// The paper measures 1.39x (p95) and 1.31x (p99) tail reductions.
+func Fig13(opt Options) (Report, Fig13Data) {
+	r := Report{
+		ID:     "fig13",
+		Title:  "Fleet A/B over diurnal traffic: fixed vs tuned batch (DLRM-RMC1, Skylake)",
+		Header: []string{"config", "batch", "p95 (ms)", "p99 (ms)"},
+	}
+	skl := platform.Skylake()
+	fleet, cfg := fleetFor("DLRM-RMC1", skl, opt.FleetNodes, opt.Seed)
+
+	// Tune on a single representative node, as DeepRecSched would.
+	eng := serving.NewPlatformEngine(skl, nil, cfg)
+	opts := opt.searchOpts(workload.DefaultProduction(), cfg.SLAMedium)
+	staticBatch := skl.StaticBatch(workload.MaxQuerySize)
+	tuned := sched.DeepRecSchedCPU(eng, opts)
+
+	// Drive the fleet near the static configuration's capacity — the
+	// regime production fleets are provisioned for.
+	staticCap, _ := serving.MaxQPS(eng, serving.Config{BatchSize: staticBatch}, opts)
+	traffic := cluster.Diurnal{
+		BaseQPS:   0.72 * staticCap * float64(opt.FleetNodes),
+		Amplitude: 0.15,
+		Period:    24 * time.Hour,
+	}
+	ab := fleet.RunAB(
+		serving.Config{BatchSize: staticBatch},
+		serving.Config{BatchSize: tuned.BatchSize},
+		traffic, opt.fleetOpts())
+
+	d := Fig13Data{
+		StaticBatch:  staticBatch,
+		TunedBatch:   tuned.BatchSize,
+		P95Reduction: ab.P95Reduction,
+		P99Reduction: ab.P99Reduction,
+	}
+	r.AddRow("static", fmt.Sprintf("%d", staticBatch),
+		fmt.Sprintf("%.2f", ab.A.P95*1000), fmt.Sprintf("%.2f", ab.A.P99*1000))
+	r.AddRow("tuned", fmt.Sprintf("%d", tuned.BatchSize),
+		fmt.Sprintf("%.2f", ab.B.P95*1000), fmt.Sprintf("%.2f", ab.B.P99*1000))
+	r.AddNote("tail reduction: p95 %.2fx, p99 %.2fx (paper: 1.39x / 1.31x)", d.P95Reduction, d.P99Reduction)
+	return r, d
+}

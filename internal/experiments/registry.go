@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper artifact at the given fidelity.
+type Runner func(opt Options) Report
+
+// All returns every experiment keyed by artifact ID, for the CLI and the
+// bench harness. Experiments with structured secondary outputs wrap them so
+// every artifact is runnable uniformly.
+func All() map[string]Runner {
+	return map[string]Runner{
+		"table1": func(Options) Report { return Table1() },
+		"table2": func(Options) Report { return Table2() },
+		"fig1":   func(Options) Report { return Fig1() },
+		"fig3":   func(Options) Report { return Fig3() },
+		"fig4":   func(Options) Report { return Fig4() },
+		"fig5":   func(o Options) Report { r, _ := Fig5(o); return r },
+		"fig6":   func(o Options) Report { r, _ := Fig6(o); return r },
+		"fig7":   func(o Options) Report { r, _ := Fig7(o); return r },
+		"fig9":   func(o Options) Report { r, _ := Fig9(o); return r },
+		"fig10":  func(o Options) Report { r, _ := Fig10(o); return r },
+		"fig11":  func(o Options) Report { r, _ := Fig11(o); return r },
+		"fig12a": func(o Options) Report { r, _ := Fig12a(o); return r },
+		"fig12b": func(o Options) Report { r, _ := Fig12b(o); return r },
+		"fig12c": func(o Options) Report { r, _ := Fig12c(o); return r },
+		"fig13":  func(o Options) Report { r, _ := Fig13(o); return r },
+		"fig14":  func(o Options) Report { r, _ := Fig14(o); return r },
+		// ablation is not a paper artifact; it backs DESIGN.md's claim that
+		// the four cost-model mechanisms drive the scheduler's decisions.
+		"ablation": func(o Options) Report { r, _ := Ablation(o); return r },
+	}
+}
+
+// IDs returns the experiment IDs in sorted order.
+func IDs() []string {
+	all := All()
+	ids := make([]string, 0, len(all))
+	for id := range all {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Get returns the runner for one artifact ID.
+func Get(id string) (Runner, error) {
+	r, ok := All()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown artifact %q (have %v)", id, IDs())
+	}
+	return r, nil
+}

@@ -1,0 +1,101 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: each Fig*/Table* function regenerates the corresponding
+// artifact's rows from the reimplemented system and returns them as a
+// printable Report plus structured data for programmatic checks. The bench
+// harness at the repository root exposes one benchmark per experiment, and
+// cmd/deeprecsys prints them on demand.
+//
+// Absolute numbers differ from the paper (the substrate is an analytical
+// simulator, not the authors' Caffe2/MKL testbed — see DESIGN.md); the
+// experiments preserve the paper's comparative shapes: who wins, by roughly
+// what factor, and where the crossovers fall. EXPERIMENTS.md records
+// paper-vs-measured values for each artifact.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID     string // e.g. "fig11"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a free-text note rendered under the table.
+func (r *Report) AddNote(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an aligned text table.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Header, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Options sets the fidelity of simulation-backed experiments. Quick keeps
+// unit tests fast; Full is the fidelity used for EXPERIMENTS.md and the
+// bench harness.
+type Options struct {
+	// Queries and Warmup size each capacity-search evaluation.
+	Queries int
+	Warmup  int
+	// RelTol terminates capacity bisection.
+	RelTol float64
+	// Seed fixes all stochastic inputs.
+	Seed int64
+	// Models restricts model-sweep experiments; nil = whole zoo.
+	Models []string
+	// FleetNodes / FleetWindows / QueriesPerWindow size fleet experiments.
+	FleetNodes       int
+	FleetWindows     int
+	QueriesPerWindow int
+	// DistSamples sizes distribution characterizations.
+	DistSamples int
+}
+
+// Quick returns reduced-fidelity options for tests.
+func Quick() Options {
+	return Options{
+		Queries: 700, Warmup: 100, RelTol: 0.05, Seed: 1,
+		FleetNodes: 8, FleetWindows: 4, QueriesPerWindow: 250,
+		DistSamples: 20000,
+	}
+}
+
+// Full returns the fidelity used for recorded results.
+func Full() Options {
+	return Options{
+		Queries: 2200, Warmup: 200, RelTol: 0.02, Seed: 1,
+		FleetNodes: 40, FleetWindows: 12, QueriesPerWindow: 600,
+		DistSamples: 200000,
+	}
+}
+
+// modelNames resolves the option's model filter against the zoo order.
+func (o Options) modelNames(all []string) []string {
+	if len(o.Models) == 0 {
+		return all
+	}
+	return o.Models
+}

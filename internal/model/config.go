@@ -1,0 +1,239 @@
+// Package model implements the generalized neural recommendation model of
+// the paper's Figure 2 and the eight industry-representative configurations
+// of Table I (NCF, Wide&Deep, Multi-Task Wide&Deep, DLRM-RMC1/2/3, DIN,
+// DIEN). A Model computes real forward passes over the operator library in
+// internal/nn and exposes the per-operator FLOP/byte profile used by the
+// characterization experiments and the hardware performance models.
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/nn"
+)
+
+// Bottleneck classifies a model's runtime-dominant operator group, the
+// paper's Table II taxonomy.
+type Bottleneck int
+
+// Bottleneck classes from Table II.
+const (
+	EmbeddingDominated Bottleneck = iota
+	MLPDominated
+	AttentionDominated
+)
+
+// String implements fmt.Stringer.
+func (b Bottleneck) String() string {
+	switch b {
+	case EmbeddingDominated:
+		return "embedding-dominated"
+	case MLPDominated:
+		return "MLP-dominated"
+	case AttentionDominated:
+		return "attention-dominated"
+	default:
+		return fmt.Sprintf("Bottleneck(%d)", int(b))
+	}
+}
+
+// SequencePooling selects how a model reduces its multi-hot behaviour
+// sequences, distinguishing the three architecture families of the zoo.
+type SequencePooling int
+
+// Sequence pooling modes.
+const (
+	// SeqNone: all sparse features use plain EmbeddingBag pooling.
+	SeqNone SequencePooling = iota
+	// SeqAttention: DIN-style local activation units weight the sequence.
+	SeqAttention
+	// SeqAUGRU: DIEN-style attention-weighted GRU over the sequence.
+	SeqAUGRU
+)
+
+// Config fully describes one recommendation model. The eight Table I
+// configurations are provided by the Zoo; custom configurations compose the
+// same knobs (the red parameters of the paper's Fig. 2).
+type Config struct {
+	Name    string
+	Company string
+	Domain  string
+
+	// Dense (continuous) feature path.
+	DenseInDim int   // width of the continuous input vector; 0 = no dense features
+	DenseFC    []int // Dense-FC stack widths; empty = passthrough (WnD concatenates raw dense features)
+
+	// Sparse (categorical) feature path.
+	NumTables       int        // number of embedding tables
+	TableRows       int        // rows per table (scaled-down; see DESIGN.md)
+	LookupsPerTable int        // lookups per table per item (Table I "Lookup")
+	EmbDim          int        // latent dimension
+	Pool            nn.Pooling // pooling for plain (non-sequence) tables
+
+	// Sequence modeling (DIN / DIEN). When SeqPool != SeqNone, tables
+	// [2, 2+SeqTables) are treated as behaviour sequences of length SeqLen;
+	// table 1 provides the candidate-item query embedding. The remaining
+	// tables are one-hot.
+	SeqPool         SequencePooling
+	SeqTables       int
+	SeqLen          int
+	AttentionHidden int
+	GRUHidden       int
+
+	// Predictor.
+	PredictFC []int // Predict-FC stack widths; a final width-1 sigmoid head is appended
+	NumTasks  int   // parallel predictor stacks (MT-WnD); min 1
+
+	// GMF: NCF's generalized matrix factorization — elementwise product of
+	// the first two table embeddings is concatenated into the interaction.
+	UseGMF bool
+
+	// Service characteristics (Table II).
+	Class     Bottleneck
+	SLAMedium time.Duration
+}
+
+// Validate checks internal consistency and returns a descriptive error for
+// impossible configurations, so misconfigured experiments fail fast.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("model: config missing name")
+	}
+	if c.NumTables < 0 || c.TableRows <= 0 && c.NumTables > 0 {
+		return fmt.Errorf("model %s: invalid table geometry (%d tables, %d rows)", c.Name, c.NumTables, c.TableRows)
+	}
+	if c.NumTables > 0 && (c.EmbDim <= 0 || c.LookupsPerTable <= 0) {
+		return fmt.Errorf("model %s: invalid embedding config (dim %d, lookups %d)", c.Name, c.EmbDim, c.LookupsPerTable)
+	}
+	if len(c.PredictFC) == 0 {
+		return fmt.Errorf("model %s: predictor stack required", c.Name)
+	}
+	if c.NumTasks < 1 {
+		return fmt.Errorf("model %s: NumTasks must be >= 1, got %d", c.Name, c.NumTasks)
+	}
+	if c.DenseInDim == 0 && c.NumTables == 0 {
+		return fmt.Errorf("model %s: needs dense or sparse inputs", c.Name)
+	}
+	if c.SeqPool != SeqNone {
+		if c.SeqTables < 1 || c.SeqLen < 1 {
+			return fmt.Errorf("model %s: sequence pooling needs SeqTables/SeqLen >= 1", c.Name)
+		}
+		if c.NumTables < 2+c.SeqTables {
+			return fmt.Errorf("model %s: sequence pooling needs %d tables, have %d", c.Name, 2+c.SeqTables, c.NumTables)
+		}
+		if c.AttentionHidden < 1 {
+			return fmt.Errorf("model %s: sequence pooling needs AttentionHidden >= 1", c.Name)
+		}
+	}
+	if c.SeqPool == SeqAUGRU && c.GRUHidden < 1 {
+		return fmt.Errorf("model %s: AUGRU needs GRUHidden >= 1", c.Name)
+	}
+	if c.UseGMF && c.NumTables < 2 {
+		return fmt.Errorf("model %s: GMF needs at least two tables", c.Name)
+	}
+	if c.SLAMedium <= 0 {
+		return fmt.Errorf("model %s: SLA target required", c.Name)
+	}
+	return nil
+}
+
+// SLATarget is one of the three tail-latency targets the paper evaluates
+// (Section V: low/high are 50%% below/above the published medium target).
+type SLATarget int
+
+// SLA target levels.
+const (
+	SLALow SLATarget = iota
+	SLAMedium
+	SLAHigh
+)
+
+// String implements fmt.Stringer.
+func (s SLATarget) String() string {
+	switch s {
+	case SLALow:
+		return "low"
+	case SLAMedium:
+		return "medium"
+	case SLAHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("SLATarget(%d)", int(s))
+	}
+}
+
+// AllSLATargets lists the three targets in evaluation order.
+func AllSLATargets() []SLATarget { return []SLATarget{SLALow, SLAMedium, SLAHigh} }
+
+// SLA returns the p95 tail-latency target at the given level.
+func (c *Config) SLA(level SLATarget) time.Duration {
+	switch level {
+	case SLALow:
+		return c.SLAMedium / 2
+	case SLAMedium:
+		return c.SLAMedium
+	case SLAHigh:
+		return c.SLAMedium + c.SLAMedium/2
+	default:
+		panic(fmt.Sprintf("model: unknown SLA target %d", int(level)))
+	}
+}
+
+// plainTables returns the number of tables pooled by a plain EmbeddingBag
+// (i.e. excluding behaviour-sequence tables).
+func (c *Config) plainTables() int {
+	if c.SeqPool == SeqNone {
+		return c.NumTables
+	}
+	return c.NumTables - c.SeqTables
+}
+
+// denseOutDim returns the width the dense path contributes to the feature
+// interaction: the Dense-FC output, the raw dense width for passthrough, or
+// zero when the model has no continuous features.
+func (c *Config) denseOutDim() int {
+	if c.DenseInDim == 0 {
+		return 0
+	}
+	if len(c.DenseFC) == 0 {
+		return c.DenseInDim
+	}
+	return c.DenseFC[len(c.DenseFC)-1]
+}
+
+// sparseOutDim returns the width the sparse path contributes to the feature
+// interaction, accounting for pooling mode, GMF, and sequence reductions.
+func (c *Config) sparseOutDim() int {
+	if c.NumTables == 0 {
+		return 0
+	}
+	plain := c.plainTables()
+	if c.UseGMF {
+		// NCF's first two tables feed the GMF product instead of the
+		// plain concatenation.
+		plain -= 2
+	}
+	var width int
+	if c.Pool == nn.PoolConcat {
+		width = plain * c.LookupsPerTable * c.EmbDim
+	} else {
+		width = plain * c.EmbDim
+	}
+	switch c.SeqPool {
+	case SeqAttention:
+		width += c.SeqTables * c.EmbDim
+	case SeqAUGRU:
+		width += c.SeqTables * c.GRUHidden
+	}
+	if c.UseGMF {
+		width += c.EmbDim // the elementwise-product vector
+	}
+	return width
+}
+
+// InteractionDim returns the predictor-stack input width: the concatenation
+// of the dense and sparse path outputs (paper Fig. 2's feature interaction).
+func (c *Config) InteractionDim() int {
+	return c.denseOutDim() + c.sparseOutDim()
+}

@@ -1,0 +1,201 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/deeprecinfra/deeprecsys/internal/nn"
+	"github.com/deeprecinfra/deeprecsys/internal/tensor"
+)
+
+// Model is an executable instance of a Config: the paper's generalized
+// recommendation architecture (Fig. 2) with a dense-feature DNN stack,
+// embedding tables with pooling, optional sequence modeling (attention /
+// AUGRU), feature interaction by concatenation, and one predictor stack per
+// task producing click-through-rate probabilities.
+type Model struct {
+	Cfg Config
+
+	dense      *nn.MLP
+	bags       []*nn.EmbeddingBag
+	attention  *nn.Attention
+	gru        *nn.GRU
+	predictors []*nn.MLP
+}
+
+// New constructs a model with deterministically-seeded weights. It returns
+// an error for invalid configurations.
+func New(cfg Config, seed int64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{Cfg: cfg}
+
+	if cfg.DenseInDim > 0 && len(cfg.DenseFC) > 0 {
+		m.dense = nn.NewMLP(rng, append([]int{cfg.DenseInDim}, cfg.DenseFC...), nn.ReLU, nn.ReLU)
+	}
+	m.bags = make([]*nn.EmbeddingBag, cfg.NumTables)
+	for i := range m.bags {
+		pool := cfg.Pool
+		if m.isSeqTable(i) {
+			// Sequence tables gather raw vectors; pooling happens in the
+			// attention / AUGRU stage, so the bag's own pool is unused.
+			pool = nn.PoolSum
+		}
+		m.bags[i] = nn.NewEmbeddingBag(rng, cfg.TableRows, cfg.EmbDim, pool)
+	}
+	if cfg.SeqPool != SeqNone {
+		m.attention = nn.NewAttention(rng, cfg.EmbDim, cfg.AttentionHidden)
+	}
+	if cfg.SeqPool == SeqAUGRU {
+		m.gru = nn.NewGRU(rng, cfg.EmbDim, cfg.GRUHidden)
+	}
+	predictSizes := append([]int{cfg.InteractionDim()}, cfg.PredictFC...)
+	predictSizes = append(predictSizes, 1) // CTR head
+	m.predictors = make([]*nn.MLP, cfg.NumTasks)
+	for i := range m.predictors {
+		m.predictors[i] = nn.NewMLP(rng, predictSizes, nn.ReLU, nn.Sigmoid)
+	}
+	return m, nil
+}
+
+// MustNew is New for static configurations known to be valid; it panics on
+// error and is intended for the built-in zoo and tests.
+func MustNew(cfg Config, seed int64) *Model {
+	m, err := New(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// isSeqTable reports whether table i holds behaviour sequences. Sequence
+// tables occupy indices [2, 2+SeqTables): table 0 is the user feature and
+// table 1 the candidate-item feature whose embedding serves as the
+// attention query.
+func (m *Model) isSeqTable(i int) bool {
+	return m.Cfg.SeqPool != SeqNone && i >= 2 && i < 2+m.Cfg.SeqTables
+}
+
+// Input is one inference batch: Size candidate items for one user. Dense is
+// [Size x DenseInDim] (nil when the model has no continuous features);
+// Sparse[t][i] lists the embedding indices of item i in table t.
+type Input struct {
+	Size   int
+	Dense  *tensor.Tensor
+	Sparse [][][]int
+}
+
+// NewInput draws a random, shape-correct input batch for the model. Index
+// draws are uniform; the performance characteristics the simulator models do
+// not depend on the index distribution (each lookup touches one random row
+// either way), and functional tests only need valid indices.
+func (m *Model) NewInput(rng *rand.Rand, size int) *Input {
+	if size <= 0 {
+		panic(fmt.Sprintf("model: input size must be positive, got %d", size))
+	}
+	in := &Input{Size: size}
+	if m.Cfg.DenseInDim > 0 {
+		in.Dense = tensor.RandUniform(rng, size, m.Cfg.DenseInDim, 1)
+	}
+	in.Sparse = make([][][]int, m.Cfg.NumTables)
+	for t := range in.Sparse {
+		lookups := m.Cfg.LookupsPerTable
+		if m.isSeqTable(t) {
+			lookups = m.Cfg.SeqLen
+		}
+		perItem := make([][]int, size)
+		for i := range perItem {
+			idxs := make([]int, lookups)
+			for j := range idxs {
+				idxs[j] = rng.Intn(m.Cfg.TableRows)
+			}
+			perItem[i] = idxs
+		}
+		in.Sparse[t] = perItem
+	}
+	return in
+}
+
+// Forward computes CTR probabilities for every (user, item) pair in the
+// batch. The result is [Size x 1]: the probability for each candidate item.
+// For multi-task models the task outputs are averaged, matching the use of
+// MT-WnD's objectives as a combined ranking score.
+func (m *Model) Forward(in *Input) *tensor.Tensor {
+	features := m.assembleFeatures(in)
+	out := m.predictors[0].Forward(features)
+	if len(m.predictors) > 1 {
+		for _, p := range m.predictors[1:] {
+			out.AddInPlace(p.Forward(features))
+		}
+		out.Scale(1 / float32(len(m.predictors)))
+	}
+	return out
+}
+
+// assembleFeatures runs the dense and sparse paths and concatenates their
+// outputs into the predictor input (the feature-interaction step).
+func (m *Model) assembleFeatures(in *Input) *tensor.Tensor {
+	if len(in.Sparse) != m.Cfg.NumTables {
+		panic(fmt.Sprintf("model %s: input has %d sparse features, want %d", m.Cfg.Name, len(in.Sparse), m.Cfg.NumTables))
+	}
+	parts := make([]*tensor.Tensor, 0, m.Cfg.NumTables+2)
+
+	if m.Cfg.DenseInDim > 0 {
+		if in.Dense == nil {
+			panic(fmt.Sprintf("model %s: missing dense input", m.Cfg.Name))
+		}
+		if m.dense != nil {
+			parts = append(parts, m.dense.Forward(in.Dense))
+		} else {
+			parts = append(parts, in.Dense) // WnD passthrough
+		}
+	}
+
+	if m.Cfg.UseGMF {
+		u := m.bags[0].Forward(in.Sparse[0])
+		v := m.bags[1].Forward(in.Sparse[1])
+		parts = append(parts, tensor.Mul(u, v))
+	}
+
+	var query *tensor.Tensor
+	for t := 0; t < m.Cfg.NumTables; t++ {
+		if m.isSeqTable(t) {
+			continue
+		}
+		if m.Cfg.UseGMF && t < 2 {
+			continue
+		}
+		pooled := m.bags[t].Forward(in.Sparse[t])
+		if t == 1 && m.Cfg.SeqPool != SeqNone {
+			query = pooled
+		}
+		parts = append(parts, pooled)
+	}
+
+	if m.Cfg.SeqPool != SeqNone {
+		if query == nil {
+			panic(fmt.Sprintf("model %s: sequence pooling without item query table", m.Cfg.Name))
+		}
+		for t := 2; t < 2+m.Cfg.SeqTables; t++ {
+			history := make([]*tensor.Tensor, in.Size)
+			for i := 0; i < in.Size; i++ {
+				history[i] = m.bags[t].Table.Lookup(in.Sparse[t][i])
+			}
+			switch m.Cfg.SeqPool {
+			case SeqAttention:
+				parts = append(parts, m.attention.Forward(query, history))
+			case SeqAUGRU:
+				scores := m.attention.Scores(query, history)
+				parts = append(parts, m.gru.ForwardWeighted(history, scores))
+			}
+		}
+	}
+
+	features := tensor.Concat(parts...)
+	if features.Cols != m.Cfg.InteractionDim() {
+		panic(fmt.Sprintf("model %s: assembled %d features, config promises %d", m.Cfg.Name, features.Cols, m.Cfg.InteractionDim()))
+	}
+	return features
+}

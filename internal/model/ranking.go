@@ -1,0 +1,41 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/deeprecinfra/deeprecsys/internal/tensor"
+)
+
+// Ranked is one candidate item with its predicted click-through rate.
+type Ranked struct {
+	Item int
+	CTR  float32
+}
+
+// RankTopN implements the product-ranking step of the serving pipeline
+// (paper Section II): given the [Size x 1] CTR output of Model.Forward, it
+// returns the top-n items by predicted CTR, highest first. Ties are broken
+// by item index for determinism.
+func RankTopN(ctrs *tensor.Tensor, n int) []Ranked {
+	if ctrs.Cols != 1 {
+		panic(fmt.Sprintf("model: RankTopN expects a [N x 1] CTR tensor, got [%dx%d]", ctrs.Rows, ctrs.Cols))
+	}
+	if n <= 0 {
+		return nil
+	}
+	ranked := make([]Ranked, ctrs.Rows)
+	for i := 0; i < ctrs.Rows; i++ {
+		ranked[i] = Ranked{Item: i, CTR: ctrs.Data[i]}
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].CTR != ranked[b].CTR {
+			return ranked[a].CTR > ranked[b].CTR
+		}
+		return ranked[a].Item < ranked[b].Item
+	})
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	return ranked[:n]
+}

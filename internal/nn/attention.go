@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math/rand"
+
+	"github.com/deeprecinfra/deeprecsys/internal/tensor"
+)
+
+// Attention implements DIN's local activation unit: it scores each vector of
+// a user-behaviour sequence against a candidate-item query and produces the
+// weighted sum of the sequence. Unlike softmax attention, DIN uses the raw
+// scores as weights to preserve the intensity of user interests (Zhou et
+// al., KDD'18), and this implementation follows that choice.
+//
+// The scoring network is a small MLP over the concatenation
+// [history, query, history⊙query], the out-product-style interaction DIN
+// uses to let the unit model relevance.
+type Attention struct {
+	Dim    int
+	Scorer *MLP // input 3·Dim → hidden → 1
+}
+
+// NewAttention creates an attention unit for embedding dimension dim with a
+// single hidden layer of the given width.
+func NewAttention(rng *rand.Rand, dim, hidden int) *Attention {
+	return &Attention{
+		Dim:    dim,
+		Scorer: NewMLP(rng, []int{3 * dim, hidden, 1}, ReLU, None),
+	}
+}
+
+// Forward computes, for each batch item i, the weighted sum over history[i]
+// (shape [T x Dim]) with weights produced by scoring each history vector
+// against query row i. query has shape [batch x Dim]; the result has shape
+// [batch x Dim].
+func (a *Attention) Forward(query *tensor.Tensor, history []*tensor.Tensor) *tensor.Tensor {
+	if query.Rows != len(history) {
+		panic("nn: attention batch mismatch between query rows and history entries")
+	}
+	out := tensor.New(query.Rows, a.Dim)
+	for i := 0; i < query.Rows; i++ {
+		q := query.Row(i)
+		seq := history[i]
+		// Build the scorer input for all T positions at once: [T x 3·Dim].
+		feat := tensor.New(seq.Rows, 3*a.Dim)
+		for t := 0; t < seq.Rows; t++ {
+			h := seq.Row(t)
+			row := feat.Row(t)
+			copy(row[:a.Dim], h)
+			copy(row[a.Dim:2*a.Dim], q)
+			for j := 0; j < a.Dim; j++ {
+				row[2*a.Dim+j] = h[j] * q[j]
+			}
+		}
+		scores := a.Scorer.Forward(feat) // [T x 1]
+		dst := out.Row(i)
+		for t := 0; t < seq.Rows; t++ {
+			w := scores.Data[t]
+			h := seq.Row(t)
+			for j, v := range h {
+				dst[j] += w * v
+			}
+		}
+	}
+	return out
+}
+
+// Scores returns the raw relevance score of every history position against
+// the per-item query, without reducing the sequence. DIEN feeds these into
+// the attentional update gate of its GRU (AUGRU).
+func (a *Attention) Scores(query *tensor.Tensor, history []*tensor.Tensor) [][]float32 {
+	if query.Rows != len(history) {
+		panic("nn: attention batch mismatch between query rows and history entries")
+	}
+	out := make([][]float32, len(history))
+	for i := 0; i < query.Rows; i++ {
+		q := query.Row(i)
+		seq := history[i]
+		feat := tensor.New(seq.Rows, 3*a.Dim)
+		for t := 0; t < seq.Rows; t++ {
+			h := seq.Row(t)
+			row := feat.Row(t)
+			copy(row[:a.Dim], h)
+			copy(row[a.Dim:2*a.Dim], q)
+			for j := 0; j < a.Dim; j++ {
+				row[2*a.Dim+j] = h[j] * q[j]
+			}
+		}
+		raw := a.Scorer.Forward(feat) // [T x 1]
+		scores := make([]float32, seq.Rows)
+		for t := range scores {
+			// Squash into (0,1) so the attentional update gate stays a gate.
+			scores[t] = sigmoid(raw.Data[t])
+		}
+		out[i] = scores
+	}
+	return out
+}
+
+// FLOPsPerPosition returns the FLOPs spent per history position per item:
+// the interaction build plus the scorer MLP plus the weighted accumulate.
+func (a *Attention) FLOPsPerPosition() int64 {
+	return int64(a.Dim) /* h⊙q */ + a.Scorer.FLOPsPerItem() + 2*int64(a.Dim) /* w·h accumulate */
+}

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/deeprecinfra/deeprecsys/internal/tensor"
+)
+
+// Pooling identifies how the embedding vectors gathered for one sparse
+// feature are combined into a fixed-width output (paper Fig. 2's "sparse
+// feature pooling" operator).
+type Pooling int
+
+// Supported pooling operators. PoolConcat requires a fixed lookup count per
+// item (one-hot features concatenate a single vector); PoolSum handles
+// multi-hot features with any lookup count.
+const (
+	PoolSum Pooling = iota
+	PoolConcat
+)
+
+// String implements fmt.Stringer.
+func (p Pooling) String() string {
+	switch p {
+	case PoolSum:
+		return "sum"
+	case PoolConcat:
+		return "concat"
+	default:
+		return fmt.Sprintf("Pooling(%d)", int(p))
+	}
+}
+
+// EmbeddingTable is one sparse feature's latent-vector table. Production
+// tables hold up to billions of rows; the zoo scales row counts down (the
+// performance models account for full-size tables separately) while keeping
+// lookup counts and vector dimensions faithful to Table I, since those are
+// what determine per-query memory traffic.
+type EmbeddingTable struct {
+	Weights *tensor.Tensor // [rows x dim]
+}
+
+// NewEmbeddingTable creates a table of shape [rows x dim] with small-normal
+// initialization.
+func NewEmbeddingTable(rng *rand.Rand, rows, dim int) *EmbeddingTable {
+	return &EmbeddingTable{Weights: tensor.RandNormal(rng, rows, dim, 0.05)}
+}
+
+// Rows returns the number of categories in the table.
+func (e *EmbeddingTable) Rows() int { return e.Weights.Rows }
+
+// Dim returns the latent dimension.
+func (e *EmbeddingTable) Dim() int { return e.Weights.Cols }
+
+// Lookup gathers the rows at the given indices into a [len(indices) x dim]
+// tensor. Indices must be within range; out-of-range access indicates a
+// corrupted query and panics.
+func (e *EmbeddingTable) Lookup(indices []int) *tensor.Tensor {
+	out := tensor.New(len(indices), e.Dim())
+	for i, idx := range indices {
+		if idx < 0 || idx >= e.Rows() {
+			panic(fmt.Sprintf("nn: embedding index %d out of range [0,%d)", idx, e.Rows()))
+		}
+		copy(out.Row(i), e.Weights.Row(idx))
+	}
+	return out
+}
+
+// EmbeddingBag is the fused lookup-and-pool operator: for each batch item it
+// gathers that item's indices and reduces them with the configured pooling.
+// This mirrors Caffe2's SparseLengthsSum, which the paper identifies as the
+// dominant operator for the embedding-heavy DLRM configurations.
+type EmbeddingBag struct {
+	Table *EmbeddingTable
+	Pool  Pooling
+}
+
+// NewEmbeddingBag creates an embedding bag over a fresh table.
+func NewEmbeddingBag(rng *rand.Rand, rows, dim int, pool Pooling) *EmbeddingBag {
+	return &EmbeddingBag{Table: NewEmbeddingTable(rng, rows, dim), Pool: pool}
+}
+
+// Forward pools the per-item index lists into a [batch x outDim] tensor.
+// For PoolSum, outDim = dim. For PoolConcat, every item must supply the same
+// number of indices L and outDim = L·dim.
+func (b *EmbeddingBag) Forward(indices [][]int) *tensor.Tensor {
+	if len(indices) == 0 {
+		panic("nn: EmbeddingBag.Forward with empty batch")
+	}
+	dim := b.Table.Dim()
+	switch b.Pool {
+	case PoolSum:
+		out := tensor.New(len(indices), dim)
+		for i, idxs := range indices {
+			row := out.Row(i)
+			for _, idx := range idxs {
+				src := b.Table.Weights.Row(idx)
+				for j, v := range src {
+					row[j] += v
+				}
+			}
+		}
+		return out
+	case PoolConcat:
+		l := len(indices[0])
+		out := tensor.New(len(indices), l*dim)
+		for i, idxs := range indices {
+			if len(idxs) != l {
+				panic(fmt.Sprintf("nn: concat pooling requires uniform lookups, got %d and %d", l, len(idxs)))
+			}
+			row := out.Row(i)
+			for k, idx := range idxs {
+				copy(row[k*dim:(k+1)*dim], b.Table.Weights.Row(idx))
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("nn: unknown pooling %d", int(b.Pool)))
+	}
+}
+
+// BytesPerItem returns the memory traffic per batch item for the given
+// lookup count: each lookup streams one dim-wide float32 vector from the
+// table. This is the irregular-access traffic the paper's Fig. 1(b)
+// characterizes.
+func (b *EmbeddingBag) BytesPerItem(lookups int) int64 {
+	return int64(lookups) * int64(b.Table.Dim()) * 4
+}

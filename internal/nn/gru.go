@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math/rand"
+
+	"github.com/deeprecinfra/deeprecsys/internal/tensor"
+)
+
+// GRUCell is a standard gated recurrent unit:
+//
+//	z = σ(x·Wz + h·Uz + bz)
+//	r = σ(x·Wr + h·Ur + br)
+//	h̃ = tanh(x·Wh + (r⊙h)·Uh + bh)
+//	h' = (1-z)⊙h + z⊙h̃
+//
+// DIEN stacks attention-weighted GRUs over user-behaviour sequences; the
+// paper identifies this recurrence as DIEN's runtime bottleneck because it
+// serializes over sequence positions and gains nothing from batching within
+// an item.
+type GRUCell struct {
+	InDim, HiddenDim int
+	Wz, Wr, Wh       *tensor.Tensor // [in x hidden]
+	Uz, Ur, Uh       *tensor.Tensor // [hidden x hidden]
+	Bz, Br, Bh       *tensor.Tensor // [1 x hidden]
+}
+
+// NewGRUCell creates a Xavier-initialized GRU cell.
+func NewGRUCell(rng *rand.Rand, in, hidden int) *GRUCell {
+	return &GRUCell{
+		InDim: in, HiddenDim: hidden,
+		Wz: tensor.XavierUniform(rng, in, hidden),
+		Wr: tensor.XavierUniform(rng, in, hidden),
+		Wh: tensor.XavierUniform(rng, in, hidden),
+		Uz: tensor.XavierUniform(rng, hidden, hidden),
+		Ur: tensor.XavierUniform(rng, hidden, hidden),
+		Uh: tensor.XavierUniform(rng, hidden, hidden),
+		Bz: tensor.New(1, hidden),
+		Br: tensor.New(1, hidden),
+		Bh: tensor.New(1, hidden),
+	}
+}
+
+// Step advances the recurrence by one position: x is [batch x in], h is
+// [batch x hidden]; the returned hidden state is [batch x hidden].
+func (g *GRUCell) Step(x, h *tensor.Tensor) *tensor.Tensor {
+	z := Sigmoid.Apply(tensor.Add(tensor.MatMulAddBias(x, g.Wz, g.Bz), tensor.MatMul(h, g.Uz)))
+	r := Sigmoid.Apply(tensor.Add(tensor.MatMulAddBias(x, g.Wr, g.Br), tensor.MatMul(h, g.Ur)))
+	cand := Tanh.Apply(tensor.Add(tensor.MatMulAddBias(x, g.Wh, g.Bh), tensor.MatMul(tensor.Mul(r, h), g.Uh)))
+	out := tensor.New(h.Rows, h.Cols)
+	for i := range out.Data {
+		zv := z.Data[i]
+		out.Data[i] = (1-zv)*h.Data[i] + zv*cand.Data[i]
+	}
+	return out
+}
+
+// StepWeighted advances the recurrence like Step but scales the update gate
+// by attn, implementing the attentional update gate of DIEN's AUGRU: a
+// position the attention unit scores low barely perturbs the hidden state.
+func (g *GRUCell) StepWeighted(x, h *tensor.Tensor, attn float32) *tensor.Tensor {
+	z := Sigmoid.Apply(tensor.Add(tensor.MatMulAddBias(x, g.Wz, g.Bz), tensor.MatMul(h, g.Uz)))
+	r := Sigmoid.Apply(tensor.Add(tensor.MatMulAddBias(x, g.Wr, g.Br), tensor.MatMul(h, g.Ur)))
+	cand := Tanh.Apply(tensor.Add(tensor.MatMulAddBias(x, g.Wh, g.Bh), tensor.MatMul(tensor.Mul(r, h), g.Uh)))
+	out := tensor.New(h.Rows, h.Cols)
+	for i := range out.Data {
+		zv := attn * z.Data[i]
+		out.Data[i] = (1-zv)*h.Data[i] + zv*cand.Data[i]
+	}
+	return out
+}
+
+// FLOPsPerStepPerItem returns the FLOPs one sequence position costs one
+// batch item: six GEMV-equivalent products plus elementwise gate math.
+func (g *GRUCell) FLOPsPerStepPerItem() int64 {
+	gemm := 2 * int64(g.InDim) * int64(g.HiddenDim) * 3    // Wz, Wr, Wh
+	rec := 2 * int64(g.HiddenDim) * int64(g.HiddenDim) * 3 // Uz, Ur, Uh
+	elem := 10 * int64(g.HiddenDim)                        // gates + blend
+	return gemm + rec + elem
+}
+
+// GRU runs a GRUCell over per-item sequences. Each sequence is a [T x in]
+// tensor; sequences may have different lengths. The result is the final
+// hidden state per item, shape [batch x hidden].
+type GRU struct {
+	Cell *GRUCell
+}
+
+// NewGRU creates a GRU over a fresh cell.
+func NewGRU(rng *rand.Rand, in, hidden int) *GRU {
+	return &GRU{Cell: NewGRUCell(rng, in, hidden)}
+}
+
+// Forward consumes one sequence per batch item and returns the final hidden
+// states as a [len(seqs) x hidden] tensor. Items are processed one at a
+// time because production sequences are ragged; the recurrence itself is the
+// serial bottleneck either way.
+func (g *GRU) Forward(seqs []*tensor.Tensor) *tensor.Tensor {
+	if len(seqs) == 0 {
+		panic("nn: GRU.Forward with empty batch")
+	}
+	out := tensor.New(len(seqs), g.Cell.HiddenDim)
+	for i, seq := range seqs {
+		h := tensor.New(1, g.Cell.HiddenDim)
+		for t := 0; t < seq.Rows; t++ {
+			x := tensor.FromSlice(1, seq.Cols, seq.Row(t))
+			h = g.Cell.Step(x, h)
+		}
+		copy(out.Row(i), h.Row(0))
+	}
+	return out
+}
+
+// ForwardWeighted runs the attentional recurrence (AUGRU): weights[i][t]
+// scales the update gate at position t of item i's sequence. weights must
+// match the sequence shapes exactly.
+func (g *GRU) ForwardWeighted(seqs []*tensor.Tensor, weights [][]float32) *tensor.Tensor {
+	if len(seqs) == 0 {
+		panic("nn: GRU.ForwardWeighted with empty batch")
+	}
+	if len(weights) != len(seqs) {
+		panic("nn: GRU.ForwardWeighted weights batch mismatch")
+	}
+	out := tensor.New(len(seqs), g.Cell.HiddenDim)
+	for i, seq := range seqs {
+		if len(weights[i]) != seq.Rows {
+			panic("nn: GRU.ForwardWeighted weights length mismatch")
+		}
+		h := tensor.New(1, g.Cell.HiddenDim)
+		for t := 0; t < seq.Rows; t++ {
+			x := tensor.FromSlice(1, seq.Cols, seq.Row(t))
+			h = g.Cell.StepWeighted(x, h, weights[i][t])
+		}
+		copy(out.Row(i), h.Row(0))
+	}
+	return out
+}

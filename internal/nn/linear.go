@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/deeprecinfra/deeprecsys/internal/tensor"
+)
+
+// Linear is a fully-connected layer: y = x·W + b followed by an activation.
+type Linear struct {
+	W   *tensor.Tensor // [in x out]
+	B   *tensor.Tensor // [1 x out]
+	Act Activation
+}
+
+// NewLinear creates a Xavier-initialized fully-connected layer.
+func NewLinear(rng *rand.Rand, in, out int, act Activation) *Linear {
+	return &Linear{
+		W:   tensor.XavierUniform(rng, in, out),
+		B:   tensor.New(1, out),
+		Act: act,
+	}
+}
+
+// In returns the input width of the layer.
+func (l *Linear) In() int { return l.W.Rows }
+
+// Out returns the output width of the layer.
+func (l *Linear) Out() int { return l.W.Cols }
+
+// Forward computes the layer output for a [batch x in] input.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return l.Act.Apply(tensor.MatMulAddBias(x, l.W, l.B))
+}
+
+// FLOPsPerItem returns the floating-point operations per batch item:
+// 2·in·out for the GEMM (multiply + add) plus the bias add.
+func (l *Linear) FLOPsPerItem() int64 {
+	return 2*int64(l.In())*int64(l.Out()) + int64(l.Out())
+}
+
+// WeightBytes returns the parameter footprint in bytes (float32 weights and
+// biases). The CPU cache-contention model uses the aggregate MLP footprint.
+func (l *Linear) WeightBytes() int64 {
+	return 4 * (int64(l.In())*int64(l.Out()) + int64(l.Out()))
+}
+
+// MLP is a stack of fully-connected layers, the "DNN-stack" building block
+// of the generalized recommendation model (paper Fig. 2). Hidden layers use
+// a shared activation; the final layer uses its own (typically Sigmoid for
+// CTR heads, None for intermediate feature stacks).
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP builds an MLP with the given layer widths. sizes lists the input
+// width followed by each layer's output width, e.g. {256, 128, 32} builds
+// the paper's "256-128-32" notation with input width 256. hidden is applied
+// to all layers except the last, which uses final.
+func NewMLP(rng *rand.Rand, sizes []int, hidden, final Activation) *MLP {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: MLP needs at least input and one layer, got %v", sizes))
+	}
+	m := &MLP{Layers: make([]*Linear, 0, len(sizes)-1)}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hidden
+		if i == len(sizes)-2 {
+			act = final
+		}
+		m.Layers = append(m.Layers, NewLinear(rng, sizes[i], sizes[i+1], act))
+	}
+	return m
+}
+
+// In returns the MLP input width.
+func (m *MLP) In() int { return m.Layers[0].In() }
+
+// Out returns the MLP output width.
+func (m *MLP) Out() int { return m.Layers[len(m.Layers)-1].Out() }
+
+// Forward runs the stack on a [batch x in] input.
+func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// FLOPsPerItem sums the per-item FLOPs of all layers.
+func (m *MLP) FLOPsPerItem() int64 {
+	var total int64
+	for _, l := range m.Layers {
+		total += l.FLOPsPerItem()
+	}
+	return total
+}
+
+// WeightBytes sums the parameter footprint of all layers.
+func (m *MLP) WeightBytes() int64 {
+	var total int64
+	for _, l := range m.Layers {
+		total += l.WeightBytes()
+	}
+	return total
+}

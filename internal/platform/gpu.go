@@ -1,0 +1,167 @@
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+)
+
+// GPU is the accelerator performance model. Like the paper's evaluation —
+// which drives its scheduler studies from "an accelerator performance model
+// constructed with the performance profiles of each recommendation model
+// across the range of query sizes" on a GTX 1080Ti — this model produces
+// end-to-end query times that include host-to-device transfer (the dominant
+// term: 60–80% of end-to-end time per the paper) and batched kernel compute.
+//
+// Queries offloaded to the accelerator are processed whole (no splitting):
+// the device's internal parallelism plays the role CPU-side request
+// parallelism plays on the host.
+type GPU struct {
+	Name string
+	// TDPWatts and IdleWatts bound the power model; the board draws
+	// IdleWatts when provisioned and scales linearly with utilization.
+	// TDPWatts is the measured draw at full serving load, not the
+	// nameplate board power: transfer-bound recommendation inference
+	// keeps the SMs far below their power ceiling.
+	TDPWatts  float64
+	IdleWatts float64
+	// Streams is the number of queries the device processes concurrently
+	// (copy/kernel overlap across CUDA streams).
+	Streams int
+
+	// SetupTime is the fixed per-query kernel-side cost: launches and
+	// output copy-back.
+	SetupTime time.Duration
+	// TransferSetup is the fixed per-query host-side cost of staging the
+	// many small input tensors for DMA; together with PCIeGBs it makes
+	// data loading the dominant term, as the paper measures (60–80% of
+	// end-to-end accelerator time).
+	TransferSetup time.Duration
+	// SeqStepLaunch is the additional fixed cost per recurrent sequence
+	// step (recurrence forces one small kernel per position).
+	SeqStepLaunch time.Duration
+
+	// PCIeGBs is the effective host-to-device transfer bandwidth for the
+	// small, fragmented buffers of recommendation inputs.
+	PCIeGBs float64
+
+	// PeakGFLOPs is the device GEMM rate at full occupancy; KernelHalfSize
+	// is the query size at which utilization reaches 50%: big queries are
+	// what GPUs accelerate (paper Fig. 4).
+	PeakGFLOPs     float64
+	KernelHalfSize float64
+	// AttnEff scales PeakGFLOPs for attention scorers; GRUGFLOPs is the
+	// absolute rate for recurrent work (launch-bound, nearly flat).
+	AttnEff   float64
+	GRUGFLOPs float64
+
+	// GatherGBs is the achievable bandwidth for embedding gathers.
+	// Production-scale tables (tens of GB) exceed the device's memory, so
+	// gathers run against host-resident or paged tables at a fraction of
+	// GDDR bandwidth.
+	GatherGBs float64
+}
+
+// DefaultGPU returns the GTX 1080Ti-class configuration used in the paper's
+// accelerator study.
+func DefaultGPU() *GPU {
+	return &GPU{
+		Name:           "gtx1080ti",
+		TDPWatts:       200,
+		IdleWatts:      65,
+		Streams:        2,
+		SetupTime:      150 * time.Microsecond,
+		TransferSetup:  700 * time.Microsecond,
+		SeqStepLaunch:  4 * time.Microsecond,
+		PCIeGBs:        0.8,
+		PeakGFLOPs:     3000,
+		KernelHalfSize: 256,
+		AttnEff:        0.10,
+		GRUGFLOPs:      30,
+		GatherGBs:      12,
+	}
+}
+
+// kernelEff returns device GEMM utilization for a query of the given size.
+func (g *GPU) kernelEff(size int) float64 {
+	s := float64(size)
+	return s / (s + g.KernelHalfSize)
+}
+
+// TransferTime returns the host-to-device input transfer time for a query.
+func (g *GPU) TransferTime(p model.Profile, size int) time.Duration {
+	if size <= 0 {
+		panic(fmt.Sprintf("platform: query size must be positive, got %d", size))
+	}
+	sec := float64(size) * float64(p.InputBytes) / (g.PCIeGBs * 1e9)
+	return g.TransferSetup + time.Duration(sec*float64(time.Second))
+}
+
+// ComputeTime returns the on-device execution time for a query, excluding
+// transfer but including fixed setup and per-step recurrence launches.
+func (g *GPU) ComputeTime(p model.Profile, size int) time.Duration {
+	if size <= 0 {
+		panic(fmt.Sprintf("platform: query size must be positive, got %d", size))
+	}
+	s := float64(size)
+	mlpSec := s * float64(p.MLPFLOPs()) / (g.PeakGFLOPs * 1e9 * g.kernelEff(size))
+	attnSec := s * float64(p.AttnFLOPs) / (g.PeakGFLOPs * 1e9 * g.AttnEff)
+	var gruSec float64
+	var seqLaunch time.Duration
+	if p.GRUFLOPs > 0 {
+		gruSec = s * float64(p.GRUFLOPs) / (g.GRUGFLOPs * 1e9)
+		// One launch per recurrence step; steps are proportional to the
+		// per-item recurrent FLOPs, normalized by a nominal step cost.
+		seqLaunch = g.SeqStepLaunch * time.Duration(gruSteps(p))
+	}
+	embSec := s * float64(p.EmbBytes) / (g.GatherGBs * 1e9)
+	total := mlpSec + attnSec + gruSec + embSec
+	return g.SetupTime + seqLaunch + time.Duration(total*float64(time.Second))
+}
+
+// gruSteps estimates the number of sequential recurrence steps from the
+// profile by assuming a 32-wide hidden state, the zoo's configuration. The
+// estimate only scales a small fixed launch cost, so precision is not
+// critical.
+func gruSteps(p model.Profile) int64 {
+	const perStep = 2*32*32*3 + 2*32*32*3 + 10*32
+	return p.GRUFLOPs / perStep
+}
+
+// QueryTime returns the end-to-end accelerator time for a query: transfer
+// plus device execution. This is the service time used by the accelerator
+// queue in the serving simulation.
+func (g *GPU) QueryTime(p model.Profile, size int) time.Duration {
+	return g.TransferTime(p, size) + g.ComputeTime(p, size)
+}
+
+// Speedup returns the ratio of single-core CPU time to accelerator time for
+// a query of the given size — the y-axis of the paper's Fig. 4.
+func (g *GPU) Speedup(c *CPU, p model.Profile, size int) float64 {
+	cpu := c.RequestTime(p, size, 1)
+	gpu := g.QueryTime(p, size)
+	return float64(cpu) / float64(gpu)
+}
+
+// CrossoverSize returns the smallest query size (searching powers of two up
+// to the limit) at which the accelerator outperforms a single CPU core, or
+// 0 if it never does. Paper Fig. 4 annotates exactly this number per model.
+func (g *GPU) CrossoverSize(c *CPU, p model.Profile, limit int) int {
+	for size := 1; size <= limit; size *= 2 {
+		if g.Speedup(c, p, size) > 1 {
+			// Refine linearly between size/2 and size.
+			lo := size / 2
+			if lo < 1 {
+				return size
+			}
+			for s := lo; s <= size; s++ {
+				if g.Speedup(c, p, s) > 1 {
+					return s
+				}
+			}
+			return size
+		}
+	}
+	return 0
+}

@@ -1,0 +1,273 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+)
+
+func prof(t *testing.T, name string) model.Profile {
+	t.Helper()
+	cfg, err := model.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model.BuildProfile(cfg)
+}
+
+func TestCPUSpecs(t *testing.T) {
+	bdw, skl := Broadwell(), Skylake()
+	if bdw.Cores != 28 || skl.Cores != 40 {
+		t.Errorf("core counts %d/%d, want 28/40", bdw.Cores, skl.Cores)
+	}
+	if !bdw.InclusiveLLC || skl.InclusiveLLC {
+		t.Error("cache hierarchy flags wrong (BDW inclusive, SKL exclusive)")
+	}
+	if bdw.ContentionAlpha <= skl.ContentionAlpha {
+		t.Error("Broadwell must have steeper contention than Skylake")
+	}
+	if skl.SIMDHalfBatch <= bdw.SIMDHalfBatch {
+		t.Error("AVX-512 must need larger batches to saturate than AVX-2")
+	}
+	if skl.PeakCoreGFLOPs <= bdw.PeakCoreGFLOPs {
+		t.Error("Skylake peak must exceed Broadwell")
+	}
+}
+
+func TestStaticBatchMatchesPaper(t *testing.T) {
+	// Paper Section V: max query 1000 over 40 Skylake cores → batch 25.
+	if got := Skylake().StaticBatch(1000); got != 25 {
+		t.Errorf("Skylake static batch = %d, want 25", got)
+	}
+	if got := Broadwell().StaticBatch(1000); got != 36 {
+		t.Errorf("Broadwell static batch = %d, want 36", got)
+	}
+	if got := Skylake().StaticBatch(0); got != 1 {
+		t.Errorf("degenerate static batch = %d, want 1", got)
+	}
+}
+
+func TestRequestTimePositiveAndMonotoneInBatch(t *testing.T) {
+	skl := Skylake()
+	for _, name := range model.ZooNames() {
+		p := prof(t, name)
+		prev := time.Duration(0)
+		for _, b := range []int{1, 8, 64, 256, 1024} {
+			rt := skl.RequestTime(p, b, 1)
+			if rt <= 0 {
+				t.Fatalf("%s: non-positive request time at batch %d", name, b)
+			}
+			if rt <= prev {
+				t.Fatalf("%s: request time not increasing with batch (%v at %d)", name, rt, b)
+			}
+			prev = rt
+		}
+	}
+}
+
+func TestItemTimeImprovesWithBatchForMLPModels(t *testing.T) {
+	skl := Skylake()
+	p := prof(t, "DLRM-RMC3")
+	small := skl.ItemTime(p, 4, 1)
+	large := skl.ItemTime(p, 512, 1)
+	if large >= small {
+		t.Errorf("per-item time should fall with batch for MLP models: %v -> %v", small, large)
+	}
+	// The gain must be substantial (SIMD saturation), not marginal.
+	if float64(small)/float64(large) < 2 {
+		t.Errorf("batching gain only %.2fx, want >= 2x", float64(small)/float64(large))
+	}
+}
+
+func TestEmbeddingModelsLoseNothingFromBigBatchUnderContention(t *testing.T) {
+	// Mechanism 2: with all cores active, an embedding-heavy model's
+	// per-item cost should keep improving (or stay flat) as batch grows,
+	// because aggregate bandwidth, not per-core compute, is the limit.
+	skl := Skylake()
+	p := prof(t, "DLRM-RMC1")
+	at256 := skl.ItemTime(p, 256, skl.Cores)
+	at1024 := skl.ItemTime(p, 1024, skl.Cores)
+	if at1024 > at256 {
+		t.Errorf("per-item time grew from %v to %v for embedding model at full contention", at256, at1024)
+	}
+}
+
+func TestActiveCoresShareBandwidth(t *testing.T) {
+	skl := Skylake()
+	p := prof(t, "DLRM-RMC1")
+	alone := skl.RequestTime(p, 256, 1)
+	crowded := skl.RequestTime(p, 256, skl.Cores)
+	if float64(crowded) < 1.5*float64(alone) {
+		t.Errorf("embedding request under full contention %v should be >=1.5x the solo time %v", crowded, alone)
+	}
+}
+
+func TestBroadwellContentionSteeperThanSkylake(t *testing.T) {
+	p := prof(t, "DLRM-RMC3")
+	ratio := func(c *CPU) float64 {
+		alone := c.RequestTime(p, 64, 1)
+		crowded := c.RequestTime(p, 64, c.Cores)
+		return float64(crowded) / float64(alone)
+	}
+	if rb, rs := ratio(Broadwell()), ratio(Skylake()); rb <= rs {
+		t.Errorf("Broadwell contention ratio %.3f should exceed Skylake %.3f", rb, rs)
+	}
+}
+
+func TestGRUTimeInsensitiveToBatchEfficiency(t *testing.T) {
+	// DIEN's recurrent work must not get cheaper per item with batch.
+	skl := Skylake()
+	p := prof(t, "DIEN")
+	pGRUOnly := model.Profile{Name: "gru-only", GRUFLOPs: p.GRUFLOPs}
+	perItemSmall := float64(skl.RequestTime(pGRUOnly, 8, 1)-skl.DispatchOverhead) / 8
+	perItemLarge := float64(skl.RequestTime(pGRUOnly, 512, 1)-skl.DispatchOverhead) / 512
+	if diff := perItemSmall/perItemLarge - 1; diff > 0.01 || diff < -0.01 {
+		t.Errorf("recurrent per-item time should be batch-invariant, got %.2f%% difference", diff*100)
+	}
+}
+
+func TestRequestTimePanicsOnBadBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Skylake().RequestTime(model.Profile{}, 0, 1)
+}
+
+// Property: request time is monotone in active cores (contention and
+// bandwidth sharing never make things faster).
+func TestRequestTimeMonotoneInActiveProperty(t *testing.T) {
+	skl := Skylake()
+	p := prof(t, "DLRM-RMC2")
+	f := func(a8, b8, batch8 uint8) bool {
+		a := int(a8%40) + 1
+		b := int(b8%40) + 1
+		if a > b {
+			a, b = b, a
+		}
+		batch := int(batch8)%512 + 1
+		return skl.RequestTime(p, batch, a) <= skl.RequestTime(p, batch, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGPUSpeedupGrowsWithQuerySize(t *testing.T) {
+	gpu, skl := DefaultGPU(), Skylake()
+	for _, name := range model.ZooNames() {
+		p := prof(t, name)
+		s1 := gpu.Speedup(skl, p, 1)
+		s1024 := gpu.Speedup(skl, p, 1024)
+		if s1024 <= s1 {
+			t.Errorf("%s: speedup at 1024 (%.2f) should exceed speedup at 1 (%.2f)", name, s1024, s1)
+		}
+		if s1024 <= 1 {
+			t.Errorf("%s: GPU must outperform CPU at 1024, got %.2fx", name, s1024)
+		}
+	}
+	// Lightweight models cannot amortize the fixed transfer cost on unit
+	// queries; NCF is the zoo's smallest model and must lose at size 1.
+	if s := gpu.Speedup(skl, prof(t, "NCF"), 1); s >= 1 {
+		t.Errorf("NCF unit-query GPU speedup = %.2fx, want < 1", s)
+	}
+}
+
+func TestGPUCrossoverVariesAcrossModels(t *testing.T) {
+	// Paper Fig. 4: the batch size at which GPUs start to outperform CPUs
+	// differs across models (annotated from 1 up to ~1000).
+	gpu, skl := DefaultGPU(), Skylake()
+	crossovers := map[string]int{}
+	for _, name := range model.ZooNames() {
+		c := gpu.CrossoverSize(skl, prof(t, name), 4096)
+		if c < 1 {
+			t.Errorf("%s: GPU never outperforms CPU (crossover %d)", name, c)
+		}
+		crossovers[name] = c
+	}
+	distinct := map[int]bool{}
+	for _, c := range crossovers {
+		distinct[c] = true
+	}
+	if len(distinct) < 4 {
+		t.Errorf("crossover sizes should vary across models, got %v", crossovers)
+	}
+	// Compute-heavy WnD amortizes transfer earlier than the tiny NCF.
+	if crossovers["NCF"] <= crossovers["WnD"] {
+		t.Errorf("NCF crossover (%d) should exceed WnD (%d)", crossovers["NCF"], crossovers["WnD"])
+	}
+}
+
+func TestGPUTransferDominatesEndToEnd(t *testing.T) {
+	// Paper: data loading consumes on average 60-80% of end-to-end GPU
+	// inference time. Our calibration targets that band on average across
+	// query sizes, allowing a generous tolerance per model.
+	gpu := DefaultGPU()
+	var fracs []float64
+	for _, name := range model.ZooNames() {
+		p := prof(t, name)
+		for _, size := range []int{16, 64, 256, 1024} {
+			tr := gpu.TransferTime(p, size)
+			total := gpu.QueryTime(p, size)
+			fracs = append(fracs, float64(tr)/float64(total))
+		}
+	}
+	var sum float64
+	for _, f := range fracs {
+		if f <= 0 || f >= 1 {
+			t.Fatalf("transfer fraction %v out of (0,1)", f)
+		}
+		sum += f
+	}
+	avg := sum / float64(len(fracs))
+	if avg < 0.40 || avg > 0.85 {
+		t.Errorf("average transfer fraction = %.2f, want in [0.40, 0.85]", avg)
+	}
+}
+
+func TestGPUQueryTimePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DefaultGPU().QueryTime(model.Profile{}, 0)
+}
+
+func TestComputeIntensiveModelsGainMostFromGPU(t *testing.T) {
+	// Paper Fig. 4/11: compute-intensive models (WnD family) see the
+	// largest accelerator speedups.
+	gpu, skl := DefaultGPU(), Skylake()
+	wnd := gpu.Speedup(skl, prof(t, "WnD"), 1024)
+	rmc1 := gpu.Speedup(skl, prof(t, "DLRM-RMC1"), 1024)
+	if wnd <= rmc1 {
+		t.Errorf("WnD speedup %.2f should exceed RMC1 %.2f at 1024", wnd, rmc1)
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	skl := Skylake()
+	cpuOnly := PowerModel{CPU: skl}
+	if got := cpuOnly.Watts(0.5); got != skl.TDPWatts {
+		t.Errorf("CPU-only watts = %v, want TDP %v", got, skl.TDPWatts)
+	}
+	withGPU := PowerModel{CPU: skl, GPU: DefaultGPU()}
+	gpu := DefaultGPU()
+	idle := withGPU.Watts(0)
+	busy := withGPU.Watts(1)
+	if idle != skl.TDPWatts+gpu.IdleWatts {
+		t.Errorf("idle GPU watts = %v", idle)
+	}
+	if busy != skl.TDPWatts+gpu.TDPWatts {
+		t.Errorf("busy GPU watts = %v", busy)
+	}
+	if withGPU.Watts(-1) != idle || withGPU.Watts(2) != busy {
+		t.Error("utilization should clamp to [0,1]")
+	}
+	if qpw := cpuOnly.QPSPerWatt(1250, 0); qpw != 10 {
+		t.Errorf("QPSPerWatt = %v, want 10", qpw)
+	}
+}

@@ -1,0 +1,136 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// Edge-case and failure-injection tests for the serving simulation: the
+// regimes where queueing simulators typically break are bursts, degenerate
+// service times, maximum-size queries, and pathological engines.
+
+func TestBurstArrivalAllAtOnce(t *testing.T) {
+	// 200 queries arriving at t=0 on 4 cores must all complete, in FIFO
+	// wave order, with monotone latencies.
+	e := &fakeEngine{cores: 4, perItem: time.Millisecond}
+	sizes := make([]int, 200)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	res := Run(e, Config{BatchSize: 1}, queriesAt(sizes, 0))
+	if res.Measured != 200 {
+		t.Fatalf("measured %d, want 200", res.Measured)
+	}
+	// 200 unit requests over 4 cores at 1ms each → last finishes at 50ms.
+	if !approx(res.Duration, 50*time.Millisecond) {
+		t.Errorf("duration %v, want 50ms", res.Duration)
+	}
+}
+
+func TestMaxSizeQuerySplitsExactly(t *testing.T) {
+	e := &fakeEngine{cores: 40, perItem: 10 * time.Microsecond}
+	res := Run(e, Config{BatchSize: 25}, queriesAt([]int{workload.MaxQuerySize}, 0))
+	// 1000/25 = 40 requests, one per core, in parallel.
+	if want := 250 * time.Microsecond; !approx(res.P95(), want) {
+		t.Errorf("latency %v, want %v", res.P95(), want)
+	}
+}
+
+func TestZeroServiceTimeEngineDoesNotHang(t *testing.T) {
+	// A degenerate engine reporting zero service time must not stall the
+	// processor-sharing progress loop.
+	e := &fakeEngine{cores: 2} // perItem and overhead both zero
+	done := make(chan Result, 1)
+	go func() {
+		done <- Run(e, Config{BatchSize: 8}, queriesAt([]int{10, 20, 30}, time.Millisecond))
+	}()
+	select {
+	case res := <-done:
+		if res.Measured != 3 {
+			t.Errorf("measured %d, want 3", res.Measured)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("simulation hung on zero service times")
+	}
+}
+
+func TestSlowGPUBacklogStillCompletes(t *testing.T) {
+	// GPU far slower than the arrival rate: everything queues, everything
+	// completes, utilization saturates.
+	e := &fakeEngine{cores: 1, gpuFixed: 50 * time.Millisecond, withGPU: true}
+	sizes := make([]int, 20)
+	for i := range sizes {
+		sizes[i] = 500
+	}
+	res := Run(e, Config{BatchSize: 1, GPUThreshold: 1}, queriesAt(sizes, time.Millisecond))
+	if res.Measured != 20 {
+		t.Fatalf("measured %d, want 20", res.Measured)
+	}
+	if res.GPUUtil < 0.95 {
+		t.Errorf("GPU util %v, want ~1 under backlog", res.GPUUtil)
+	}
+	// 20 queries × 50ms serialized on one stream.
+	if res.Duration < time.Second {
+		t.Errorf("duration %v, want >= 1s", res.Duration)
+	}
+}
+
+func TestMixedRoutingConservesQueries(t *testing.T) {
+	e := &fakeEngine{cores: 2, perItem: 100 * time.Microsecond,
+		gpuFixed: time.Millisecond, gpuItem: time.Microsecond, withGPU: true}
+	gen := workload.NewGenerator(workload.Poisson{RatePerSec: 500}, workload.DefaultProduction(), 3)
+	queries := gen.Take(500)
+	res := Run(e, Config{BatchSize: 64, GPUThreshold: 200}, queries)
+	if res.Measured != 500 {
+		t.Errorf("measured %d, want 500 (no query lost or duplicated)", res.Measured)
+	}
+	if res.GPUQueryShare <= 0 || res.GPUQueryShare >= 1 {
+		t.Errorf("threshold 200 should split traffic, share=%v", res.GPUQueryShare)
+	}
+}
+
+func TestProcessorSharingSlowsUnderOverlap(t *testing.T) {
+	// Contention honesty: two overlapping embedding-heavy requests must
+	// each take longer than a solo run of the same request.
+	cfg, err := model.ByName("DLRM-RMC1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewPlatformEngine(platform.Skylake(), nil, cfg)
+	solo := Run(e, Config{BatchSize: 1000},
+		[]workload.Query{{ID: 0, Size: 1000}})
+	both := Run(e, Config{BatchSize: 1000}, []workload.Query{
+		{ID: 0, Size: 1000}, {ID: 1, Size: 1000},
+	})
+	if both.Latency.Max <= solo.Latency.Max {
+		t.Errorf("overlapped max latency %v should exceed solo %v",
+			both.Latency.Max, solo.Latency.Max)
+	}
+	// But far less than 2x: two cores share chip bandwidth, they do not
+	// serialize.
+	if both.Latency.Max >= 1.9*solo.Latency.Max {
+		t.Errorf("overlapped latency %v looks serialized vs solo %v",
+			both.Latency.Max, solo.Latency.Max)
+	}
+}
+
+func TestOfferedUtilRejectsAbsurdRates(t *testing.T) {
+	cfg, err := model.ByName("DLRM-RMC1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewPlatformEngine(platform.Skylake(), nil, cfg)
+	opts := DefaultSearchOpts(workload.DefaultProduction(), 100*time.Millisecond)
+	opts.Queries = 300
+	opts.Warmup = 50
+	if _, ok := Evaluate(e, Config{BatchSize: 256}, opts, 1e6); ok {
+		t.Error("1M QPS must be rejected as over capacity")
+	}
+	if _, ok := Evaluate(e, Config{BatchSize: 256}, opts, 10); !ok {
+		t.Error("10 QPS must be sustainable")
+	}
+}

@@ -1,0 +1,78 @@
+// Package serving implements the at-scale inference serving loop of
+// DeepRecInfra (paper Fig. 8): queries arrive following a configured arrival
+// process and size distribution, a scheduler splits them into requests of a
+// configured batch size for the CPU worker pool or offloads them whole to an
+// accelerator above a query-size threshold, and a latency recorder measures
+// the p95 tail against the model's SLA target.
+//
+// The serving loop runs on the deterministic discrete-event simulator in
+// internal/sim, with service times supplied by an Engine. The default
+// Engine is the analytical platform model; a real-execution engine (running
+// the Go models on the host) backs functional examples and keeps the
+// simulation honest.
+package serving
+
+import (
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
+)
+
+// Engine supplies service times to the serving simulation.
+type Engine interface {
+	// CPURequest returns the service time of one batch-sized request on a
+	// single core while `active` cores are busy chip-wide.
+	CPURequest(batch, active int) time.Duration
+	// GPUQuery returns the end-to-end accelerator time for a whole query
+	// of the given size. Implementations without an accelerator panic;
+	// the scheduler never offloads when no accelerator is configured.
+	GPUQuery(size int) time.Duration
+	// Cores returns the number of CPU cores available to the worker pool.
+	Cores() int
+	// HasGPU reports whether an accelerator is provisioned.
+	HasGPU() bool
+	// GPUStreams returns how many queries the accelerator processes
+	// concurrently (copy/kernel overlap); at least 1 when HasGPU.
+	GPUStreams() int
+}
+
+// PlatformEngine is the analytical Engine: it evaluates the calibrated cost
+// models in internal/platform for one recommendation model's profile.
+type PlatformEngine struct {
+	CPU     *platform.CPU
+	GPU     *platform.GPU // nil = CPU-only
+	Profile model.Profile
+}
+
+// NewPlatformEngine builds a PlatformEngine for a model configuration.
+func NewPlatformEngine(cpu *platform.CPU, gpu *platform.GPU, cfg model.Config) *PlatformEngine {
+	return &PlatformEngine{CPU: cpu, GPU: gpu, Profile: model.BuildProfile(cfg)}
+}
+
+// CPURequest implements Engine.
+func (e *PlatformEngine) CPURequest(batch, active int) time.Duration {
+	return e.CPU.RequestTime(e.Profile, batch, active)
+}
+
+// GPUQuery implements Engine.
+func (e *PlatformEngine) GPUQuery(size int) time.Duration {
+	if e.GPU == nil {
+		panic("serving: GPUQuery on a CPU-only engine")
+	}
+	return e.GPU.QueryTime(e.Profile, size)
+}
+
+// Cores implements Engine.
+func (e *PlatformEngine) Cores() int { return e.CPU.Cores }
+
+// HasGPU implements Engine.
+func (e *PlatformEngine) HasGPU() bool { return e.GPU != nil }
+
+// GPUStreams implements Engine.
+func (e *PlatformEngine) GPUStreams() int {
+	if e.GPU == nil || e.GPU.Streams < 1 {
+		return 1
+	}
+	return e.GPU.Streams
+}

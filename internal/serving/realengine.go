@@ -1,0 +1,59 @@
+package serving
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+)
+
+// RealEngine measures service times by actually executing the Go model on
+// the host CPU: every CPURequest call builds a fresh random input of the
+// requested batch size and times a forward pass. It grounds the analytical
+// platform models in genuinely executed arithmetic and powers the functional
+// examples. The accelerator path is unavailable — a RealEngine is this
+// machine, and this machine has no modeled GPU.
+//
+// The serving simulator that drives the engine is single-threaded, so the
+// shared RNG needs no locking. "Cores" is the number of simulated workers;
+// service times are measured serially on the host, so contention between
+// simulated cores is not reflected (use PlatformEngine for contention
+// studies).
+type RealEngine struct {
+	Model   *model.Model
+	NumCore int
+	rng     *rand.Rand
+}
+
+// NewRealEngine wraps an instantiated model as a serving engine with the
+// given simulated core count.
+func NewRealEngine(m *model.Model, cores int, seed int64) *RealEngine {
+	if cores < 1 {
+		panic("serving: RealEngine needs at least one core")
+	}
+	return &RealEngine{Model: m, NumCore: cores, rng: rand.New(rand.NewSource(seed))}
+}
+
+// CPURequest implements Engine by timing a real forward pass. Input
+// generation happens outside the timed region: the paper's serving stack
+// receives already-materialized feature tensors from upstream services.
+func (e *RealEngine) CPURequest(batch, active int) time.Duration {
+	in := e.Model.NewInput(e.rng, batch)
+	start := time.Now()
+	e.Model.Forward(in)
+	return time.Since(start)
+}
+
+// GPUQuery implements Engine; RealEngine has no accelerator.
+func (e *RealEngine) GPUQuery(size int) time.Duration {
+	panic("serving: RealEngine has no accelerator")
+}
+
+// Cores implements Engine.
+func (e *RealEngine) Cores() int { return e.NumCore }
+
+// HasGPU implements Engine.
+func (e *RealEngine) HasGPU() bool { return false }
+
+// GPUStreams implements Engine.
+func (e *RealEngine) GPUStreams() int { return 1 }

@@ -1,0 +1,330 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/sim"
+	"github.com/deeprecinfra/deeprecsys/internal/stats"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// Config selects one serving-policy operating point: the two knobs
+// DeepRecSched tunes (per-request batch size, accelerator query-size
+// threshold) plus the warmup prefix excluded from tail statistics.
+type Config struct {
+	// BatchSize is the per-request batch size: queries are split into
+	// ceil(size/BatchSize) requests executed by parallel cores.
+	BatchSize int
+	// GPUThreshold offloads queries with Size >= GPUThreshold to the
+	// accelerator, whole. 0 disables offloading. A threshold of 1 sends
+	// every query to the accelerator (the hill climber's start state).
+	GPUThreshold int
+	// Warmup is the number of leading queries excluded from statistics
+	// while queues fill to steady state.
+	Warmup int
+}
+
+// Validate checks the configuration against an engine's capabilities.
+func (c Config) Validate(e Engine) error {
+	if c.BatchSize < 1 {
+		return fmt.Errorf("serving: batch size %d < 1", c.BatchSize)
+	}
+	if c.GPUThreshold < 0 {
+		return fmt.Errorf("serving: negative GPU threshold %d", c.GPUThreshold)
+	}
+	if c.GPUThreshold > 0 && !e.HasGPU() {
+		return fmt.Errorf("serving: GPU threshold %d set on CPU-only engine", c.GPUThreshold)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("serving: negative warmup %d", c.Warmup)
+	}
+	return nil
+}
+
+// Result summarizes one serving run.
+type Result struct {
+	// Latency is the distribution of measured query latencies (seconds),
+	// excluding warmup.
+	Latency stats.Summary
+	// LatencySamples holds the raw measured latencies (seconds) backing
+	// Latency, in completion order. Fleet experiments aggregate these
+	// across nodes for datacenter-wide percentiles.
+	LatencySamples []float64
+	// Measured is the number of queries contributing to Latency.
+	Measured int
+	// OfferedQPS is the empirical arrival rate of the query stream.
+	OfferedQPS float64
+	// Duration is the virtual time from first arrival to last completion.
+	Duration time.Duration
+	// CPUUtil is mean busy-core fraction over the run.
+	CPUUtil float64
+	// GPUUtil is the accelerator's busy fraction over the run.
+	GPUUtil float64
+	// GPUQueryShare is the fraction of queries offloaded; GPUWorkShare is
+	// the fraction of items (candidate-item work) offloaded — the "% work
+	// processed by GPU" series of paper Fig. 14.
+	GPUQueryShare float64
+	GPUWorkShare  float64
+}
+
+// P95 returns the p95 query latency of the run.
+func (r Result) P95() time.Duration {
+	return time.Duration(r.Latency.P95 * float64(time.Second))
+}
+
+// P99 returns the p99 query latency of the run.
+func (r Result) P99() time.Duration {
+	return time.Duration(r.Latency.P99 * float64(time.Second))
+}
+
+// query tracks one in-flight query.
+type query struct {
+	arrival   time.Duration
+	size      int
+	remaining int // outstanding split requests
+	measured  bool
+}
+
+// request is one batch-sized slice of a query awaiting a core.
+type request struct {
+	q     *query
+	batch int
+}
+
+// cpuRunning is one request executing on a core. The CPU pool is simulated
+// with processor-sharing dynamics for the chip's shared resources: a
+// request's progress rate is 1/T(batch, active) units of work per second,
+// re-evaluated whenever the number of active cores changes. Freezing the
+// service time at dispatch — the quasi-static shortcut — lets a finite
+// stream exceed the chip's aggregate bandwidth during ramp-up, inflating
+// measured capacity beyond the physical ceiling.
+type cpuRunning struct {
+	req       request
+	remaining float64 // unit work remaining, starts at 1
+}
+
+// server is the single-node serving simulation state.
+type server struct {
+	sim    *sim.Sim
+	cfg    Config
+	engine Engine
+	cores  int
+
+	queue      []request // FIFO central dispatch queue
+	running    []*cpuRunning
+	lastUpdate time.Duration
+	complVer   int64
+	coreBusy   float64 // core-seconds of busy time
+	timeMemo   map[[2]int]float64
+
+	gpuQueue    []*query
+	gpuInFlight int
+	gpuStreams  int
+	gpuTotal    time.Duration
+
+	latencies  *stats.Recorder
+	measured   int
+	cpuItems   int64
+	gpuItems   int64
+	gpuQueries int
+	cpuQueries int
+	lastFinish time.Duration
+}
+
+// Run executes the serving simulation over a pre-generated query stream and
+// returns the measured tail-latency and utilization summary. The stream
+// must be in arrival order (as produced by workload.Generator).
+func Run(e Engine, cfg Config, queries []workload.Query) Result {
+	if err := cfg.Validate(e); err != nil {
+		panic(err)
+	}
+	if len(queries) == 0 {
+		panic("serving: empty query stream")
+	}
+	s := &server{
+		sim:        sim.New(),
+		cfg:        cfg,
+		engine:     e,
+		cores:      e.Cores(),
+		gpuStreams: e.GPUStreams(),
+		timeMemo:   make(map[[2]int]float64),
+		latencies:  stats.NewRecorder(len(queries)),
+	}
+	for i, wq := range queries {
+		wq := wq
+		measured := i >= cfg.Warmup
+		s.sim.At(wq.Arrival, func() { s.arrive(wq, measured) })
+	}
+	s.sim.Run()
+
+	res := Result{
+		Latency:        s.latencies.Summary(),
+		LatencySamples: s.latencies.Samples(),
+		Measured:       s.measured,
+		Duration:       s.lastFinish,
+	}
+	if span := queries[len(queries)-1].Arrival; span > 0 {
+		res.OfferedQPS = float64(len(queries)-1) / span.Seconds()
+	}
+	if s.lastFinish > 0 {
+		res.CPUUtil = s.coreBusy / (s.lastFinish.Seconds() * float64(s.cores))
+		res.GPUUtil = s.gpuTotal.Seconds() / (s.lastFinish.Seconds() * float64(s.gpuStreams))
+	}
+	if total := s.gpuQueries + s.cpuQueries; total > 0 {
+		res.GPUQueryShare = float64(s.gpuQueries) / float64(total)
+	}
+	if items := s.gpuItems + s.cpuItems; items > 0 {
+		res.GPUWorkShare = float64(s.gpuItems) / float64(items)
+	}
+	return res
+}
+
+// serviceTime returns the memoized full-service time (seconds) of a request
+// at the given active-core count. Memoization keeps the processor-sharing
+// updates cheap and, for the real-execution engine, avoids re-running the
+// model on every progress update.
+func (s *server) serviceTime(batch, active int) float64 {
+	key := [2]int{batch, active}
+	if t, ok := s.timeMemo[key]; ok {
+		return t
+	}
+	t := s.engine.CPURequest(batch, active).Seconds()
+	if t <= 0 {
+		t = 1e-12 // keep progress rates finite for degenerate engines
+	}
+	s.timeMemo[key] = t
+	return t
+}
+
+// updateProgress advances every running request to the current virtual time
+// at the progress rate implied by the active-core count since the last
+// update.
+func (s *server) updateProgress() {
+	now := s.sim.Now()
+	dt := (now - s.lastUpdate).Seconds()
+	s.lastUpdate = now
+	if dt <= 0 || len(s.running) == 0 {
+		return
+	}
+	active := len(s.running)
+	s.coreBusy += dt * float64(active)
+	for _, r := range s.running {
+		r.remaining -= dt / s.serviceTime(r.req.batch, active)
+	}
+}
+
+// scheduleNextCompletion arms a completion event for the soonest-finishing
+// running request under the current active-core count. Any state change
+// bumps complVer, invalidating previously armed events.
+func (s *server) scheduleNextCompletion() {
+	s.complVer++
+	if len(s.running) == 0 {
+		return
+	}
+	active := len(s.running)
+	soonest := math.Inf(1)
+	for _, r := range s.running {
+		t := r.remaining * s.serviceTime(r.req.batch, active)
+		if t < soonest {
+			soonest = t
+		}
+	}
+	if soonest < 0 {
+		soonest = 0
+	}
+	ver := s.complVer
+	s.sim.After(time.Duration(soonest*float64(time.Second))+1, func() { s.completeCPU(ver) })
+}
+
+// arrive admits one query: offload whole to the accelerator above the
+// threshold, otherwise split into batch-sized requests for the core pool.
+func (s *server) arrive(wq workload.Query, measured bool) {
+	q := &query{arrival: s.sim.Now(), size: wq.Size, measured: measured}
+	if s.cfg.GPUThreshold > 0 && wq.Size >= s.cfg.GPUThreshold {
+		s.gpuQueries++
+		s.gpuItems += int64(wq.Size)
+		s.gpuQueue = append(s.gpuQueue, q)
+		s.kickGPU()
+		return
+	}
+	s.cpuQueries++
+	s.cpuItems += int64(wq.Size)
+	remaining := wq.Size
+	for remaining > 0 {
+		b := s.cfg.BatchSize
+		if b > remaining {
+			b = remaining
+		}
+		s.queue = append(s.queue, request{q: q, batch: b})
+		q.remaining++
+		remaining -= b
+	}
+	s.updateProgress()
+	s.dispatch()
+	s.scheduleNextCompletion()
+}
+
+// dispatch moves queued requests onto idle cores. Callers must have called
+// updateProgress first and must re-arm the completion event afterwards.
+func (s *server) dispatch() {
+	for len(s.running) < s.cores && len(s.queue) > 0 {
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		s.running = append(s.running, &cpuRunning{req: req, remaining: 1})
+	}
+}
+
+// completeCPU retires every finished request, refills cores from the queue,
+// and re-arms the completion event.
+func (s *server) completeCPU(ver int64) {
+	if ver != s.complVer {
+		return // superseded by a later state change
+	}
+	s.updateProgress()
+	const eps = 1e-9
+	kept := s.running[:0]
+	for _, r := range s.running {
+		if r.remaining <= eps {
+			r.req.q.remaining--
+			if r.req.q.remaining == 0 {
+				s.finish(r.req.q)
+			}
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.running = kept
+	s.dispatch()
+	s.scheduleNextCompletion()
+}
+
+// kickGPU starts the accelerator on queued queries while stream slots are
+// free. Each in-flight query occupies one stream for its full service time.
+func (s *server) kickGPU() {
+	for s.gpuInFlight < s.gpuStreams && len(s.gpuQueue) > 0 {
+		q := s.gpuQueue[0]
+		s.gpuQueue = s.gpuQueue[1:]
+		s.gpuInFlight++
+		service := s.engine.GPUQuery(q.size)
+		s.gpuTotal += service
+		s.sim.After(service, func() {
+			s.gpuInFlight--
+			s.finish(q)
+			s.kickGPU()
+		})
+	}
+}
+
+// finish records one completed query.
+func (s *server) finish(q *query) {
+	now := s.sim.Now()
+	if now > s.lastFinish {
+		s.lastFinish = now
+	}
+	if q.measured {
+		s.latencies.Add((now - q.arrival).Seconds())
+		s.measured++
+	}
+}

@@ -1,0 +1,314 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// fakeEngine provides exactly-known service times for queueing-logic tests.
+type fakeEngine struct {
+	cores     int
+	overhead  time.Duration
+	perItem   time.Duration
+	gpuFixed  time.Duration
+	gpuItem   time.Duration
+	withGPU   bool
+	callBatch []int // records requested batch sizes
+}
+
+func (f *fakeEngine) CPURequest(batch, active int) time.Duration {
+	f.callBatch = append(f.callBatch, batch)
+	return f.overhead + time.Duration(batch)*f.perItem
+}
+func (f *fakeEngine) GPUQuery(size int) time.Duration {
+	return f.gpuFixed + time.Duration(size)*f.gpuItem
+}
+func (f *fakeEngine) Cores() int      { return f.cores }
+func (f *fakeEngine) HasGPU() bool    { return f.withGPU }
+func (f *fakeEngine) GPUStreams() int { return 1 }
+
+// approx reports whether two durations agree within a microsecond; the
+// processor-sharing simulator schedules completions with nanosecond slack.
+func approx(a, b time.Duration) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= time.Microsecond
+}
+
+func approxSec(a, b float64) bool {
+	return approx(time.Duration(a*float64(time.Second)), time.Duration(b*float64(time.Second)))
+}
+
+func queriesAt(sizes []int, gap time.Duration) []workload.Query {
+	qs := make([]workload.Query, len(sizes))
+	for i, s := range sizes {
+		qs[i] = workload.Query{ID: i, Size: s, Arrival: time.Duration(i) * gap}
+	}
+	return qs
+}
+
+func TestSingleCoreSerializesQueries(t *testing.T) {
+	// Three unit queries arrive simultaneously on one core with 10ms
+	// service: latencies must be exactly 10, 20, 30ms.
+	e := &fakeEngine{cores: 1, perItem: 10 * time.Millisecond}
+	res := Run(e, Config{BatchSize: 1}, queriesAt([]int{1, 1, 1}, 0))
+	if res.Measured != 3 {
+		t.Fatalf("measured %d queries, want 3", res.Measured)
+	}
+	if got := res.Latency.Max; !approxSec(got, 0.030) {
+		t.Errorf("max latency = %vs, want 0.030", got)
+	}
+	if got := res.Latency.Min; !approxSec(got, 0.010) {
+		t.Errorf("min latency = %vs, want 0.010", got)
+	}
+	if !approx(res.Duration, 30*time.Millisecond) {
+		t.Errorf("duration = %v, want 30ms", res.Duration)
+	}
+}
+
+func TestQuerySplitsAcrossCores(t *testing.T) {
+	// One 100-item query, batch 25, 4 cores: four parallel requests of
+	// 25 items; latency = one request time.
+	e := &fakeEngine{cores: 4, perItem: time.Millisecond}
+	res := Run(e, Config{BatchSize: 25}, queriesAt([]int{100}, 0))
+	want := 25 * time.Millisecond
+	if got := res.P95(); !approx(got, want) {
+		t.Errorf("latency = %v, want %v", got, want)
+	}
+	for _, b := range e.callBatch {
+		if b != 25 {
+			t.Errorf("request batch = %d, want 25", b)
+		}
+	}
+}
+
+func TestRaggedTailRequest(t *testing.T) {
+	// 10 items at batch 4 → requests of 4, 4, 2.
+	e := &fakeEngine{cores: 3, perItem: time.Millisecond}
+	Run(e, Config{BatchSize: 4}, queriesAt([]int{10}, 0))
+	seen := map[int]bool{}
+	for _, b := range e.callBatch {
+		seen[b] = true
+	}
+	if !seen[4] || !seen[2] {
+		t.Errorf("batches seen = %v, want both 4 and 2", e.callBatch)
+	}
+}
+
+func TestFewerCoresThanRequestsQueues(t *testing.T) {
+	// 100 items, batch 25, 2 cores: two waves → latency 2x request time.
+	e := &fakeEngine{cores: 2, perItem: time.Millisecond}
+	res := Run(e, Config{BatchSize: 25}, queriesAt([]int{100}, 0))
+	want := 50 * time.Millisecond
+	if got := res.P95(); !approx(got, want) {
+		t.Errorf("latency = %v, want %v", got, want)
+	}
+}
+
+func TestGPUThresholdRouting(t *testing.T) {
+	e := &fakeEngine{cores: 2, perItem: time.Millisecond, gpuFixed: 5 * time.Millisecond, gpuItem: time.Microsecond, withGPU: true}
+	// Sizes 10 and 500 with threshold 100: the 500 goes to GPU.
+	res := Run(e, Config{BatchSize: 32, GPUThreshold: 100}, queriesAt([]int{10, 500}, 0))
+	if res.GPUQueryShare != 0.5 {
+		t.Errorf("GPU query share = %v, want 0.5", res.GPUQueryShare)
+	}
+	wantWork := 500.0 / 510.0
+	if diff := res.GPUWorkShare - wantWork; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("GPU work share = %v, want %v", res.GPUWorkShare, wantWork)
+	}
+	if res.GPUUtil <= 0 {
+		t.Error("GPU utilization should be positive")
+	}
+}
+
+func TestThresholdOneSendsEverythingToGPU(t *testing.T) {
+	e := &fakeEngine{cores: 2, perItem: time.Millisecond, gpuFixed: time.Millisecond, withGPU: true}
+	res := Run(e, Config{BatchSize: 32, GPUThreshold: 1}, queriesAt([]int{5, 50, 500}, 0))
+	if res.GPUQueryShare != 1 || res.GPUWorkShare != 1 {
+		t.Errorf("shares = %v/%v, want 1/1", res.GPUQueryShare, res.GPUWorkShare)
+	}
+	if len(e.callBatch) != 0 {
+		t.Errorf("CPU received %d requests, want 0", len(e.callBatch))
+	}
+}
+
+func TestGPUQueueSerializes(t *testing.T) {
+	e := &fakeEngine{cores: 1, gpuFixed: 10 * time.Millisecond, withGPU: true}
+	res := Run(e, Config{BatchSize: 1, GPUThreshold: 1}, queriesAt([]int{1, 1}, 0))
+	if got := time.Duration(res.Latency.Max * float64(time.Second)); got != 20*time.Millisecond {
+		t.Errorf("second GPU query latency = %v, want 20ms", got)
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	e := &fakeEngine{cores: 1, perItem: 10 * time.Millisecond}
+	res := Run(e, Config{BatchSize: 1, Warmup: 2}, queriesAt([]int{1, 1, 1}, 0))
+	if res.Measured != 1 {
+		t.Fatalf("measured = %d, want 1", res.Measured)
+	}
+	// The only measured query is the third: latency 30ms.
+	if got := res.Latency.Max; !approxSec(got, 0.030) {
+		t.Errorf("measured latency = %v, want 0.030", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	noGPU := &fakeEngine{cores: 1}
+	cases := []Config{
+		{BatchSize: 0},
+		{BatchSize: 1, GPUThreshold: -1},
+		{BatchSize: 1, GPUThreshold: 5}, // engine has no GPU
+		{BatchSize: 1, Warmup: -1},
+	}
+	for i, cfg := range cases {
+		if err := cfg.Validate(noGPU); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := (Config{BatchSize: 8}).Validate(noGPU); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRunPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Run(&fakeEngine{cores: 1}, Config{BatchSize: 0}, queriesAt([]int{1}, 0))
+}
+
+func TestCPUUtilBounded(t *testing.T) {
+	e := &fakeEngine{cores: 4, perItem: time.Millisecond}
+	res := Run(e, Config{BatchSize: 16}, queriesAt([]int{64, 64, 64, 64}, time.Millisecond))
+	if res.CPUUtil <= 0 || res.CPUUtil > 1 {
+		t.Errorf("CPU util = %v, want in (0,1]", res.CPUUtil)
+	}
+}
+
+func TestEvaluateMeetsSLAAtLowLoadOnly(t *testing.T) {
+	e := &fakeEngine{cores: 2, perItem: time.Millisecond}
+	opts := DefaultSearchOpts(workload.Fixed{Size: 10}, 15*time.Millisecond)
+	opts.Queries = 500
+	opts.Warmup = 50
+	if _, ok := Evaluate(e, Config{BatchSize: 10}, opts, 10); !ok {
+		t.Error("10 QPS should meet a 15ms SLA (10ms service)")
+	}
+	if _, ok := Evaluate(e, Config{BatchSize: 10}, opts, 500); ok {
+		t.Error("500 QPS must violate the SLA on a ~100 QPS system")
+	}
+}
+
+func TestMaxQPSFindsKnownCapacity(t *testing.T) {
+	// Deterministic system: 2 cores, 10ms per request of 10 items → peak
+	// service capacity 200 req/s. With Poisson arrivals and a p95 bound
+	// comfortably above the service time, the achievable rate must land
+	// in a sane band below that peak and above half of it.
+	e := &fakeEngine{cores: 2, perItem: time.Millisecond}
+	opts := DefaultSearchOpts(workload.Fixed{Size: 10}, 40*time.Millisecond)
+	opts.Queries = 1200
+	opts.Warmup = 200
+	qps, res := MaxQPS(e, Config{BatchSize: 10}, opts)
+	if qps < 100 || qps > 200 {
+		t.Errorf("MaxQPS = %v, want in (100, 200)", qps)
+	}
+	if res.P95() > 40*time.Millisecond {
+		t.Errorf("returned result violates SLA: %v", res.P95())
+	}
+}
+
+func TestMaxQPSZeroWhenServiceExceedsSLA(t *testing.T) {
+	e := &fakeEngine{cores: 2, perItem: time.Millisecond}
+	opts := DefaultSearchOpts(workload.Fixed{Size: 100}, 50*time.Millisecond)
+	opts.Queries = 300
+	opts.Warmup = 50
+	// Batch 100 → single 100ms request > 50ms SLA at any load.
+	if qps, _ := MaxQPS(e, Config{BatchSize: 100}, opts); qps != 0 {
+		t.Errorf("MaxQPS = %v, want 0", qps)
+	}
+}
+
+func TestMaxQPSMonotoneInSLA(t *testing.T) {
+	e := &fakeEngine{cores: 4, perItem: 100 * time.Microsecond}
+	mk := func(sla time.Duration) float64 {
+		opts := DefaultSearchOpts(workload.Fixed{Size: 20}, sla)
+		opts.Queries = 800
+		opts.Warmup = 100
+		qps, _ := MaxQPS(e, Config{BatchSize: 10}, opts)
+		return qps
+	}
+	tight, loose := mk(4*time.Millisecond), mk(20*time.Millisecond)
+	if loose < tight {
+		t.Errorf("capacity at loose SLA (%v) below tight SLA (%v)", loose, tight)
+	}
+}
+
+func TestMaxQPSDeterministic(t *testing.T) {
+	e := &fakeEngine{cores: 2, perItem: time.Millisecond}
+	opts := DefaultSearchOpts(workload.DefaultProduction(), 200*time.Millisecond)
+	opts.Queries = 400
+	opts.Warmup = 50
+	a, _ := MaxQPS(e, Config{BatchSize: 32}, opts)
+	e2 := &fakeEngine{cores: 2, perItem: time.Millisecond}
+	b, _ := MaxQPS(e2, Config{BatchSize: 32}, opts)
+	if a != b {
+		t.Errorf("MaxQPS not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestPlatformEngineIntegration(t *testing.T) {
+	cfg, err := model.ByName("DLRM-RMC1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewPlatformEngine(platform.Skylake(), platform.DefaultGPU(), cfg)
+	if !e.HasGPU() || e.Cores() != 40 {
+		t.Fatal("engine capabilities wrong")
+	}
+	if e.CPURequest(64, 1) <= 0 || e.GPUQuery(256) <= 0 {
+		t.Error("service times must be positive")
+	}
+	res := Run(e, Config{BatchSize: 64, GPUThreshold: 256},
+		queriesAt([]int{10, 100, 400, 900}, 5*time.Millisecond))
+	if res.Measured != 4 {
+		t.Errorf("measured %d, want 4", res.Measured)
+	}
+	if res.GPUQueryShare != 0.5 {
+		t.Errorf("GPU share %v, want 0.5 (two of four queries >= 256)", res.GPUQueryShare)
+	}
+}
+
+func TestPlatformEngineCPUOnlyPanicsOnGPUQuery(t *testing.T) {
+	cfg, _ := model.ByName("NCF")
+	e := NewPlatformEngine(platform.Skylake(), nil, cfg)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e.GPUQuery(10)
+}
+
+func TestRealEngineExecutesModel(t *testing.T) {
+	cfg, _ := model.ByName("NCF")
+	m := model.MustNew(cfg, 1)
+	e := NewRealEngine(m, 2, 7)
+	d := e.CPURequest(4, 1)
+	if d <= 0 {
+		t.Errorf("real execution time = %v, want > 0", d)
+	}
+	if e.HasGPU() {
+		t.Error("RealEngine must not claim an accelerator")
+	}
+	res := Run(e, Config{BatchSize: 8}, queriesAt([]int{8, 16}, time.Millisecond))
+	if res.Measured != 2 {
+		t.Errorf("measured %d, want 2", res.Measured)
+	}
+}

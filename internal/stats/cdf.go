@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution function built from samples.
+// It supports evaluation (fraction of mass at or below x), inverse lookup
+// (quantiles), and distance metrics between two distributions, which the
+// fleet-subsampling experiment (paper Fig. 7) uses to show that a handful of
+// nodes tracks the datacenter-wide latency distribution.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples. The input is copied.
+func NewCDF(samples []float64) *CDF {
+	if len(samples) == 0 {
+		panic("stats: NewCDF of empty sample set")
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns the fraction of samples <= x.
+func (c *CDF) At(x float64) float64 {
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1).
+func (c *CDF) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range [0,1]", q))
+	}
+	return percentileSorted(c.sorted, q*100)
+}
+
+// Len returns the number of underlying samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// MaxQuantileRelError returns the maximum relative error between the
+// quantiles of c and other, evaluated at the given quantile points. This is
+// the "within ~10%" metric of paper Fig. 7: how far apart two latency
+// distributions are in the region that matters for tail SLAs.
+func (c *CDF) MaxQuantileRelError(other *CDF, qs []float64) float64 {
+	var worst float64
+	for _, q := range qs {
+		a := c.Quantile(q)
+		b := other.Quantile(q)
+		denom := math.Max(math.Abs(a), math.Abs(b))
+		if denom == 0 {
+			continue
+		}
+		if rel := math.Abs(a-b) / denom; rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// KS returns the Kolmogorov–Smirnov statistic between two empirical CDFs:
+// the maximum absolute difference between the CDF curves, evaluated at every
+// sample point of both distributions.
+func (c *CDF) KS(other *CDF) float64 {
+	var worst float64
+	for _, x := range c.sorted {
+		if d := math.Abs(c.At(x) - other.At(x)); d > worst {
+			worst = d
+		}
+	}
+	for _, x := range other.sorted {
+		if d := math.Abs(c.At(x) - other.At(x)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Histogram is a fixed-width-bucket histogram over [min, max). Samples
+// outside the range are clamped into the first/last bucket so that no
+// latency observation is silently dropped.
+type Histogram struct {
+	min, max float64
+	width    float64
+	counts   []int
+	total    int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [min, max).
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n <= 0 || max <= min {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) n=%d", min, max, n))
+	}
+	return &Histogram{min: min, max: max, width: (max - min) / float64(n), counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.min) / h.width)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.total++
+}
+
+// Count returns the number of observations recorded.
+func (h *Histogram) Count() int { return h.total }
+
+// Buckets returns the bucket lower bounds and normalized frequencies.
+func (h *Histogram) Buckets() (bounds []float64, freqs []float64) {
+	bounds = make([]float64, len(h.counts))
+	freqs = make([]float64, len(h.counts))
+	for i, c := range h.counts {
+		bounds[i] = h.min + float64(i)*h.width
+		if h.total > 0 {
+			freqs[i] = float64(c) / float64(h.total)
+		}
+	}
+	return bounds, freqs
+}

@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{100, 10},
+		{50, 5.5},
+		{25, 3.25},
+		{75, 7.75},
+	}
+	for _, c := range cases {
+		got := Percentile(samples, c.p)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	if got := Percentile([]float64{42}, 95); got != 42 {
+		t.Errorf("Percentile of single sample = %v, want 42", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	samples := []float64{3, 1, 2}
+	Percentile(samples, 50)
+	if samples[0] != 3 || samples[1] != 1 || samples[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", samples)
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty sample set")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestPercentilePanicsOnRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on p out of range")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+// Property: any percentile lies within [min, max] of the samples, and
+// percentiles are monotonically non-decreasing in p.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			samples = append(samples, v)
+		}
+		if len(samples) == 0 {
+			return true
+		}
+		lo := float64(p1 % 101)
+		hi := float64(p2 % 101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a := Percentile(samples, lo)
+		b := Percentile(samples, hi)
+		min, max := samples[0], samples[0]
+		for _, v := range samples {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		return a <= b && a >= min && b <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 {
+		t.Errorf("Count = %d, want 8", s.Count)
+	}
+	if math.Abs(s.Mean-5) > 1e-9 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if math.Abs(s.Stddev-2) > 1e-9 {
+		t.Errorf("Stddev = %v, want 2", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 {
+		t.Errorf("empty Summarize Count = %d", s.Count)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4, 16})
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-positive value")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestCDFAtAndQuantile(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.At(2); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("At(2) = %v, want 0.5", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %v, want 1", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4", got)
+	}
+}
+
+func TestCDFSelfDistanceIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.ExpFloat64()
+	}
+	c := NewCDF(samples)
+	if d := c.KS(c); d != 0 {
+		t.Errorf("KS(self) = %v, want 0", d)
+	}
+	if e := c.MaxQuantileRelError(c, []float64{0.5, 0.95, 0.99}); e != 0 {
+		t.Errorf("MaxQuantileRelError(self) = %v, want 0", e)
+	}
+}
+
+func TestCDFKSDetectsShift(t *testing.T) {
+	a := make([]float64, 1000)
+	b := make([]float64, 1000)
+	rng := rand.New(rand.NewSource(11))
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 3
+	}
+	d := NewCDF(a).KS(NewCDF(b))
+	if d < 0.8 {
+		t.Errorf("KS between shifted normals = %v, want > 0.8", d)
+	}
+}
+
+// Property: CDF.At is monotonically non-decreasing and bounded in [0,1].
+func TestCDFMonotonicProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = rng.NormFloat64() * 10
+	}
+	c := NewCDF(samples)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		ax, ay := c.At(x), c.At(y)
+		return ax <= ay && ax >= 0 && ay <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-5) // clamps into first bucket
+	h.Add(50) // clamps into last bucket
+	if h.Count() != 12 {
+		t.Errorf("Count = %d, want 12", h.Count())
+	}
+	bounds, freqs := h.Buckets()
+	if len(bounds) != 10 || len(freqs) != 10 {
+		t.Fatalf("Buckets lengths = %d/%d, want 10/10", len(bounds), len(freqs))
+	}
+	var total float64
+	for _, f := range freqs {
+		total += f
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("frequencies sum to %v, want 1", total)
+	}
+	if freqs[0] != 2.0/12 {
+		t.Errorf("first bucket freq = %v, want %v", freqs[0], 2.0/12)
+	}
+	if freqs[9] != 2.0/12 {
+		t.Errorf("last bucket freq = %v, want %v", freqs[9], 2.0/12)
+	}
+}
+
+func TestHistogramPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 100; i++ {
+		r.Add(float64(i))
+	}
+	if r.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", r.Count())
+	}
+	if got := r.Percentile(95); math.Abs(got-95.05) > 1e-9 {
+		t.Errorf("P95 = %v, want 95.05", got)
+	}
+	other := NewRecorder(1)
+	other.Add(1000)
+	r.Merge(other)
+	if r.Count() != 101 {
+		t.Errorf("after merge Count = %d, want 101", r.Count())
+	}
+	r.Reset()
+	if r.Count() != 0 {
+		t.Errorf("after reset Count = %d, want 0", r.Count())
+	}
+}

@@ -1,0 +1,39 @@
+package stats
+
+// Recorder accumulates float64 observations for later summarization. It is
+// the building block of latency accounting in the serving engine: one
+// Recorder per metric (query latency, queueing delay, service time, ...).
+//
+// Recorder is not safe for concurrent use; the discrete-event simulator is
+// single-threaded by construction, and the real-execution engine shards
+// recorders per worker and merges them.
+type Recorder struct {
+	samples []float64
+}
+
+// NewRecorder returns a Recorder with capacity hint n.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{samples: make([]float64, 0, n)}
+}
+
+// Add records one observation.
+func (r *Recorder) Add(x float64) { r.samples = append(r.samples, x) }
+
+// Merge appends all observations from other.
+func (r *Recorder) Merge(other *Recorder) { r.samples = append(r.samples, other.samples...) }
+
+// Count returns the number of recorded observations.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Samples returns the raw observations. The returned slice aliases the
+// recorder's storage; callers must not mutate it.
+func (r *Recorder) Samples() []float64 { return r.samples }
+
+// Reset discards all observations, retaining capacity.
+func (r *Recorder) Reset() { r.samples = r.samples[:0] }
+
+// Percentile returns the p-th percentile of the recorded observations.
+func (r *Recorder) Percentile(p float64) float64 { return Percentile(r.samples, p) }
+
+// Summary returns the Summary of the recorded observations.
+func (r *Recorder) Summary() Summary { return Summarize(r.samples) }

@@ -1,0 +1,37 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandUniform fills a new [rows x cols] tensor with values drawn uniformly
+// from [-scale, scale) using the provided source. Model weights are seeded
+// deterministically so every experiment run is reproducible.
+func RandUniform(rng *rand.Rand, rows, cols int, scale float32) *Tensor {
+	t := New(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return t
+}
+
+// XavierUniform fills a new [in x out] weight tensor using Xavier/Glorot
+// uniform initialization, the conventional choice for the fully-connected
+// stacks in the model zoo. It keeps activations in a numerically sane range
+// so inference outputs are meaningful probabilities after the sigmoid.
+func XavierUniform(rng *rand.Rand, in, out int) *Tensor {
+	limit := float32(math.Sqrt(6.0 / float64(in+out)))
+	return RandUniform(rng, in, out, limit)
+}
+
+// RandNormal fills a new [rows x cols] tensor with N(0, stddev²) values.
+// Embedding tables use a small-stddev normal init, matching common practice
+// for latent-factor models.
+func RandNormal(rng *rand.Rand, rows, cols int, stddev float32) *Tensor {
+	t := New(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64()) * stddev
+	}
+	return t
+}

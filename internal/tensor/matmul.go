@@ -1,0 +1,76 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a × b for a of shape [m x k] and b of shape [k x n].
+// The kernel is a cache-friendly ikj loop: it streams rows of b while
+// accumulating into the output row, which keeps pure-Go throughput adequate
+// for the model zoo's layer sizes (hundreds to a few thousand units).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch [%dx%d]·[%dx%d]", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	matMulInto(out, a, b)
+	return out
+}
+
+func matMulInto(out, a, b *Tensor) {
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		aRow := a.Row(i)
+		outRow := out.Row(i)
+		for k, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			bRow := b.Data[k*n : (k+1)*n]
+			for j, bv := range bRow {
+				outRow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulAddBias returns a × w + bias, where bias is a [1 x n] row vector
+// broadcast over the rows of the product. This fuses the two steps of a
+// fully-connected layer, the dominant dense operator in the model zoo.
+func MatMulAddBias(a, w, bias *Tensor) *Tensor {
+	if a.Cols != w.Rows {
+		panic(fmt.Sprintf("tensor: MatMulAddBias inner dim mismatch [%dx%d]·[%dx%d]", a.Rows, a.Cols, w.Rows, w.Cols))
+	}
+	if bias.Rows != 1 || bias.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: bias shape [%dx%d] incompatible with output cols %d", bias.Rows, bias.Cols, w.Cols))
+	}
+	out := New(a.Rows, w.Cols)
+	for i := 0; i < out.Rows; i++ {
+		copy(out.Row(i), bias.Data)
+	}
+	matMulInto(out, a, w)
+	return out
+}
+
+// Transpose returns tᵀ.
+func Transpose(t *Tensor) *Tensor {
+	out := New(t.Cols, t.Rows)
+	for r := 0; r < t.Rows; r++ {
+		row := t.Row(r)
+		for c, v := range row {
+			out.Data[c*t.Rows+r] = v
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors represented as
+// [1 x n] or [n x 1] tensors' raw data.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

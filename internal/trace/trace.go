@@ -1,0 +1,154 @@
+// Package trace produces the workload-characterization analyses of the
+// paper's Section III: the roofline placement of the model zoo against
+// reference CNN/RNN workloads (Fig. 1) and the per-operator execution-time
+// breakdown at a fixed batch size (Fig. 3).
+package trace
+
+import (
+	"math"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
+)
+
+// RooflinePoint places one workload on a platform roofline: its arithmetic
+// intensity, the attainable performance at that intensity, and the split of
+// its memory traffic between regular (dense/streaming) and irregular
+// (embedding gather) accesses — the paper's Fig. 1(a) and 1(b).
+type RooflinePoint struct {
+	Name string
+	// Intensity is FLOPs per byte of memory traffic.
+	Intensity float64
+	// AttainableGFLOPs = min(peak compute, intensity × memory bandwidth).
+	AttainableGFLOPs float64
+	// ComputeBound marks workloads whose intensity clears the roofline
+	// knee.
+	ComputeBound bool
+	// SparseByteFraction is the share of memory traffic from irregular
+	// embedding gathers (Fig. 1b's model-level heterogeneity axis).
+	SparseByteFraction float64
+}
+
+// ReferencePoint describes a non-recommendation comparison workload with
+// fixed per-inference FLOP and byte counts. The paper plots DeepSpeech2 and
+// ResNet-50; the byte counts below reflect batched operation (weights
+// amortized over a serving batch, activations streamed), yielding the
+// commonly reported operational intensities (~120 FLOP/B for ResNet-50,
+// ~50 FLOP/B for DeepSpeech2). Only their placement above the zoo's bulk
+// matters for the Fig. 1 comparison.
+type ReferencePoint struct {
+	Name  string
+	FLOPs int64
+	Bytes int64
+}
+
+// ReferenceWorkloads returns the paper's CNN/RNN comparison points.
+func ReferenceWorkloads() []ReferencePoint {
+	return []ReferencePoint{
+		{Name: "ResNet50", FLOPs: 4_000_000_000, Bytes: 33_000_000},
+		{Name: "DeepSpeech2", FLOPs: 2_400_000_000, Bytes: 48_000_000},
+	}
+}
+
+// chipPeakGFLOPs returns the whole-chip peak GEMM rate of a CPU.
+func chipPeakGFLOPs(cpu *platform.CPU) float64 {
+	return cpu.PeakCoreGFLOPs * float64(cpu.Cores)
+}
+
+// rooflineAt evaluates the roofline model at a given intensity against the
+// platform's peak streaming bandwidth (the classic roofline memory roof).
+func rooflineAt(cpu *platform.CPU, intensity float64) (gflops float64, computeBound bool) {
+	memRoof := intensity * cpu.PeakDRAMGBs // GB/s × FLOP/B = GFLOP/s
+	peak := chipPeakGFLOPs(cpu)
+	if memRoof < peak {
+		return memRoof, false
+	}
+	return peak, true
+}
+
+// RooflineBatch is the batch size at which MLP weight traffic is amortized
+// when computing roofline intensity, matching the batch the paper uses for
+// its characterization figures.
+const RooflineBatch = 64
+
+// Roofline places every configuration on the platform's roofline. Memory
+// traffic counts input streaming, embedding gathers, and the model's weight
+// footprint amortized over a RooflineBatch-item batch (weights are re-read
+// once per request, not once per item).
+func Roofline(cfgs []model.Config, cpu *platform.CPU) []RooflinePoint {
+	points := make([]RooflinePoint, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		p := model.BuildProfile(cfg)
+		bytes := p.TotalBytes() + p.MLPWeightBytes/RooflineBatch
+		intensity := float64(p.TotalFLOPs()) / float64(bytes)
+		attainable, bound := rooflineAt(cpu, intensity)
+		var sparseFrac float64
+		if bytes > 0 {
+			sparseFrac = float64(p.EmbBytes) / float64(bytes)
+		}
+		points = append(points, RooflinePoint{
+			Name:               cfg.Name,
+			Intensity:          intensity,
+			AttainableGFLOPs:   attainable,
+			ComputeBound:       bound,
+			SparseByteFraction: sparseFrac,
+		})
+	}
+	return points
+}
+
+// ReferenceRoofline places the CNN/RNN reference workloads on the same
+// roofline for the Fig. 1 comparison.
+func ReferenceRoofline(cpu *platform.CPU) []RooflinePoint {
+	refs := ReferenceWorkloads()
+	points := make([]RooflinePoint, 0, len(refs))
+	for _, r := range refs {
+		intensity := float64(r.FLOPs) / float64(r.Bytes)
+		attainable, bound := rooflineAt(cpu, intensity)
+		points = append(points, RooflinePoint{
+			Name:             r.Name,
+			Intensity:        intensity,
+			AttainableGFLOPs: attainable,
+			ComputeBound:     bound,
+		})
+	}
+	return points
+}
+
+// OpShare is one operator group's fraction of a model's service time.
+type OpShare struct {
+	Operator string
+	Fraction float64
+}
+
+// OpBreakdown returns the per-operator execution-time shares of one model at
+// the given batch size on the given platform — the paper's Fig. 3 (which
+// uses batch 64). Fractions sum to 1.
+func OpBreakdown(cfg model.Config, cpu *platform.CPU, batch int) []OpShare {
+	p := model.BuildProfile(cfg)
+	bd := cpu.RequestBreakdown(p, batch, 1)
+	total := float64(bd.Total())
+	if total == 0 {
+		return nil
+	}
+	shares := []OpShare{
+		{Operator: "FC", Fraction: float64(bd.MLP) / total},
+		{Operator: "Embedding", Fraction: float64(bd.Embedding) / total},
+		{Operator: "Attention", Fraction: float64(bd.Attention) / total},
+		{Operator: "Recurrent", Fraction: float64(bd.GRU) / total},
+		{Operator: "DenseInput", Fraction: float64(bd.Dense) / total},
+		{Operator: "Other", Fraction: float64(bd.Overhead) / total},
+	}
+	return shares
+}
+
+// DominantOperator returns the operator group with the largest share.
+func DominantOperator(shares []OpShare) OpShare {
+	best := OpShare{Fraction: math.Inf(-1)}
+	for _, s := range shares {
+		if s.Fraction > best.Fraction {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
+)
+
+func TestRooflineRecModelsAreMemoryBoundVsReferences(t *testing.T) {
+	// Paper Fig. 1: recommendation models tend toward the memory-bound
+	// region — the bulk of the zoo sits at lower arithmetic intensity than
+	// CNN/RNN workloads, and every embedding-dominated model sits far
+	// below them. (The zoo spans a range; DIEN's attention+GRU compute
+	// reaches toward the RNN reference, as in the paper's figure.)
+	skl := platform.Skylake()
+	rec := Roofline(model.Zoo(), skl)
+	refs := ReferenceRoofline(skl)
+
+	minRef := math.Inf(1)
+	for _, r := range refs {
+		if r.Intensity < minRef {
+			minRef = r.Intensity
+		}
+		if !r.ComputeBound {
+			t.Errorf("reference %s should be compute bound on the roofline", r.Name)
+		}
+	}
+
+	intensities := make([]float64, 0, len(rec))
+	byName := map[string]RooflinePoint{}
+	for _, p := range rec {
+		if p.Intensity <= 0 {
+			t.Errorf("%s: non-positive intensity", p.Name)
+		}
+		intensities = append(intensities, p.Intensity)
+		byName[p.Name] = p
+	}
+	sort.Float64s(intensities)
+	median := intensities[len(intensities)/2]
+	if median >= minRef {
+		t.Errorf("median rec intensity %.1f should be below lowest reference %.1f", median, minRef)
+	}
+	for _, cfg := range model.Zoo() {
+		if cfg.Class == model.EmbeddingDominated {
+			if got := byName[cfg.Name].Intensity; got >= minRef/2 {
+				t.Errorf("%s (embedding-dominated) intensity %.1f should be far below references (%.1f)",
+					cfg.Name, got, minRef)
+			}
+		}
+	}
+}
+
+func TestRooflineEmbeddingModelsLowestIntensity(t *testing.T) {
+	skl := platform.Skylake()
+	points := map[string]RooflinePoint{}
+	for _, p := range Roofline(model.Zoo(), skl) {
+		points[p.Name] = p
+	}
+	if points["DLRM-RMC1"].Intensity >= points["DLRM-RMC3"].Intensity {
+		t.Error("RMC1 must have lower intensity than RMC3")
+	}
+	if points["DLRM-RMC1"].ComputeBound {
+		t.Error("RMC1 must be memory bound")
+	}
+	// Fig. 1(b): sparse share separates the families.
+	if points["DLRM-RMC1"].SparseByteFraction <= points["WnD"].SparseByteFraction {
+		t.Error("RMC1 sparse fraction should exceed WnD")
+	}
+	if points["WnD"].SparseByteFraction > 0.5 {
+		t.Errorf("WnD should be dense-dominated, sparse frac = %.2f",
+			points["WnD"].SparseByteFraction)
+	}
+}
+
+func TestRooflineAttainableRespectsRoofs(t *testing.T) {
+	skl := platform.Skylake()
+	peak := skl.PeakCoreGFLOPs * float64(skl.Cores)
+	for _, p := range append(Roofline(model.Zoo(), skl), ReferenceRoofline(skl)...) {
+		if p.AttainableGFLOPs > peak+1e-9 {
+			t.Errorf("%s attainable %.1f above peak %.1f", p.Name, p.AttainableGFLOPs, peak)
+		}
+		memRoof := p.Intensity * skl.PeakDRAMGBs
+		if p.AttainableGFLOPs > memRoof+1e-9 {
+			t.Errorf("%s attainable %.1f above memory roof %.1f", p.Name, p.AttainableGFLOPs, memRoof)
+		}
+	}
+}
+
+func TestOpBreakdownMatchesTableIIClasses(t *testing.T) {
+	// Paper Fig. 3 at batch 64: the dominant operator group must match
+	// each model's Table II classification.
+	skl := platform.Skylake()
+	wantDominant := map[string]string{
+		"DLRM-RMC1": "Embedding",
+		"DLRM-RMC2": "Embedding",
+		"DLRM-RMC3": "FC",
+		"NCF":       "FC",
+		"WnD":       "FC",
+		"MT-WnD":    "FC",
+		"DIN":       "Attention", // DIN splits between attention and embedding
+		"DIEN":      "Recurrent",
+	}
+	for _, cfg := range model.Zoo() {
+		shares := OpBreakdown(cfg, skl, 64)
+		dom := DominantOperator(shares)
+		want := wantDominant[cfg.Name]
+		if cfg.Name == "DIN" {
+			// The paper describes DIN's time as split across embedding,
+			// attention and FC; accept either of the two leaders.
+			if dom.Operator != "Attention" && dom.Operator != "Embedding" {
+				t.Errorf("DIN dominated by %s, want Attention or Embedding", dom.Operator)
+			}
+			continue
+		}
+		if dom.Operator != want {
+			t.Errorf("%s dominated by %s (%.2f), want %s", cfg.Name, dom.Operator, dom.Fraction, want)
+		}
+	}
+}
+
+func TestOpBreakdownFractionsSumToOne(t *testing.T) {
+	skl := platform.Skylake()
+	for _, cfg := range model.Zoo() {
+		var sum float64
+		for _, s := range OpBreakdown(cfg, skl, 64) {
+			if s.Fraction < 0 {
+				t.Errorf("%s: negative share %v", cfg.Name, s)
+			}
+			sum += s.Fraction
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: shares sum to %v", cfg.Name, sum)
+		}
+	}
+}
+
+func TestDominantOperator(t *testing.T) {
+	shares := []OpShare{{"a", 0.2}, {"b", 0.5}, {"c", 0.3}}
+	if got := DominantOperator(shares); got.Operator != "b" {
+		t.Errorf("DominantOperator = %v", got)
+	}
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ArrivalProcess draws inter-arrival gaps between consecutive queries.
+type ArrivalProcess interface {
+	// NextGap draws the time until the next query arrives.
+	NextGap(rng *rand.Rand) time.Duration
+	// Name identifies the process in reports.
+	Name() string
+}
+
+// Poisson is a Poisson arrival process with the given mean rate in queries
+// per second: inter-arrival gaps are exponentially distributed. Profiling of
+// production recommendation services shows their arrivals are Poisson
+// (paper Section III-C), so this is the default for all experiments.
+type Poisson struct {
+	RatePerSec float64
+}
+
+// NextGap implements ArrivalProcess.
+func (p Poisson) NextGap(rng *rand.Rand) time.Duration {
+	if p.RatePerSec <= 0 {
+		panic(fmt.Sprintf("workload: Poisson rate must be positive, got %v", p.RatePerSec))
+	}
+	return time.Duration(rng.ExpFloat64() / p.RatePerSec * float64(time.Second))
+}
+
+// Name implements ArrivalProcess.
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(%.1f qps)", p.RatePerSec) }
+
+// Uniform spaces queries exactly 1/RatePerSec apart — a closed-loop control
+// used in tests and for isolating queueing effects from arrival burstiness.
+type Uniform struct {
+	RatePerSec float64
+}
+
+// NextGap implements ArrivalProcess.
+func (u Uniform) NextGap(*rand.Rand) time.Duration {
+	if u.RatePerSec <= 0 {
+		panic(fmt.Sprintf("workload: Uniform rate must be positive, got %v", u.RatePerSec))
+	}
+	return time.Duration(float64(time.Second) / u.RatePerSec)
+}
+
+// Name implements ArrivalProcess.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(%.1f qps)", u.RatePerSec) }
+
+// Query is one recommendation inference request: Size candidate items to be
+// scored for one user, arriving at Arrival (relative to the start of the
+// run).
+type Query struct {
+	ID      int
+	Size    int
+	Arrival time.Duration
+}
+
+// Generator produces a deterministic query stream from an arrival process
+// and a size distribution. The same (processes, seed) pair always yields the
+// same stream, which is what makes scheduler comparisons paired rather than
+// merely statistical.
+type Generator struct {
+	Arrivals ArrivalProcess
+	Sizes    SizeDist
+	rng      *rand.Rand
+	next     Query
+}
+
+// NewGenerator creates a generator with its own deterministic RNG.
+func NewGenerator(arrivals ArrivalProcess, sizes SizeDist, seed int64) *Generator {
+	g := &Generator{
+		Arrivals: arrivals,
+		Sizes:    sizes,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	g.next = Query{ID: 0, Size: sizes.Sample(g.rng), Arrival: arrivals.NextGap(g.rng)}
+	return g
+}
+
+// Next returns the next query in the stream.
+func (g *Generator) Next() Query {
+	q := g.next
+	g.next = Query{
+		ID:      q.ID + 1,
+		Size:    g.Sizes.Sample(g.rng),
+		Arrival: q.Arrival + g.Arrivals.NextGap(g.rng),
+	}
+	return q
+}
+
+// Take returns the next n queries in the stream.
+func (g *Generator) Take(n int) []Query {
+	qs := make([]Query, n)
+	for i := range qs {
+		qs[i] = g.Next()
+	}
+	return qs
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	gen := NewGenerator(Poisson{RatePerSec: 200}, DefaultProduction(), 5)
+	want := gen.Take(300)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost queries: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Size != want[i].Size {
+			t.Fatalf("query %d size %d != %d", i, got[i].Size, want[i].Size)
+		}
+		diff := got[i].Arrival - want[i].Arrival
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1 { // nanosecond-level CSV rounding
+			t.Fatalf("query %d arrival drifted %v", i, diff)
+		}
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "time,size\n0.1,5\n",
+		"bad fields":  "arrival_sec,size\n0.1\n",
+		"bad arrival": "arrival_sec,size\nx,5\n",
+		"neg arrival": "arrival_sec,size\n-1,5\n",
+		"bad size":    "arrival_sec,size\n0.1,zero\n",
+		"zero size":   "arrival_sec,size\n0.1,0\n",
+		"huge size":   "arrival_sec,size\n0.1,5000\n",
+		"unsorted":    "arrival_sec,size\n0.2,5\n0.1,5\n",
+		"no queries":  "arrival_sec,size\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: malformed trace accepted", name)
+		}
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	in := "arrival_sec,size\n0.1,5\n\n0.2,7\n"
+	qs, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[1].Size != 7 {
+		t.Errorf("parsed %v", qs)
+	}
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFixedSample(t *testing.T) {
+	d := Fixed{Size: 64}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if got := d.Sample(rng); got != 64 {
+			t.Fatalf("Fixed sample = %d", got)
+		}
+	}
+	if (Fixed{Size: 5000}).Sample(rng) != MaxQuerySize {
+		t.Error("Fixed should clamp to MaxQuerySize")
+	}
+	if (Fixed{Size: -3}).Sample(rng) != 1 {
+		t.Error("Fixed should clamp to 1")
+	}
+}
+
+// Property: every distribution always produces sizes in [1, MaxQuerySize].
+func TestSampleRangeProperty(t *testing.T) {
+	dists := []SizeDist{
+		Fixed{Size: 10},
+		Normal{Mean: 100, Stddev: 200},
+		DefaultLogNormal(),
+		DefaultProduction(),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, d := range dists {
+			for i := 0; i < 50; i++ {
+				s := d.Sample(rng)
+				if s < 1 || s > MaxQuerySize {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCentersOnMean(t *testing.T) {
+	if m := MeanSize(Normal{Mean: 200, Stddev: 20}, 20000, 1); math.Abs(m-200) > 5 {
+		t.Errorf("normal mean = %v, want ~200", m)
+	}
+}
+
+func TestProductionHeavierTailThanLogNormal(t *testing.T) {
+	// The defining property from paper Fig. 5: at matched central mass the
+	// production distribution has far more probability in the extreme tail.
+	prod := DefaultProduction()
+	ln := DefaultLogNormal()
+	n := 200000
+	tail := func(d SizeDist, cut int) float64 {
+		rng := rand.New(rand.NewSource(42))
+		c := 0
+		for i := 0; i < n; i++ {
+			if d.Sample(rng) >= cut {
+				c++
+			}
+		}
+		return float64(c) / float64(n)
+	}
+	pTail := tail(prod, 600)
+	lTail := tail(ln, 600)
+	if pTail < 3*lTail {
+		t.Errorf("production tail mass %v should be >=3x lognormal %v", pTail, lTail)
+	}
+	if pTail < 0.01 {
+		t.Errorf("production should have non-negligible tail beyond 600, got %v", pTail)
+	}
+}
+
+func TestProductionQuantilesMatchDesign(t *testing.T) {
+	prod := DefaultProduction()
+	p75 := Quantile(prod, 0.75, 100000, 7)
+	if p75 < 60 || p75 > 250 {
+		t.Errorf("production p75 = %d, want in [60, 250]", p75)
+	}
+	p100 := Quantile(prod, 1.0, 100000, 7)
+	if p100 != MaxQuerySize {
+		t.Errorf("production max = %d, want %d (clamped)", p100, MaxQuerySize)
+	}
+	mean := MeanSize(prod, 100000, 7)
+	if mean < 80 || mean > 200 {
+		t.Errorf("production mean = %v, want in [80, 200]", mean)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prod := DefaultProduction()
+	f := func(a, b uint8) bool {
+		qa := float64(a) / 255
+		qb := float64(b) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(prod, qa, 2000, 3) <= Quantile(prod, qb, 2000, 3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Quantile(Fixed{Size: 1}, 1.5, 10, 1)
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	p := Poisson{RatePerSec: 100}
+	rng := rand.New(rand.NewSource(5))
+	var total time.Duration
+	n := 50000
+	for i := 0; i < n; i++ {
+		total += p.NextGap(rng)
+	}
+	meanGap := total / time.Duration(n)
+	want := 10 * time.Millisecond
+	if meanGap < want*9/10 || meanGap > want*11/10 {
+		t.Errorf("mean gap = %v, want ~%v", meanGap, want)
+	}
+}
+
+func TestPoissonPanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Poisson{}.NextGap(rand.New(rand.NewSource(1)))
+}
+
+func TestUniformGap(t *testing.T) {
+	u := Uniform{RatePerSec: 50}
+	if got := u.NextGap(nil); got != 20*time.Millisecond {
+		t.Errorf("uniform gap = %v, want 20ms", got)
+	}
+}
+
+func TestGeneratorDeterministicAndOrdered(t *testing.T) {
+	mk := func() []Query {
+		g := NewGenerator(Poisson{RatePerSec: 1000}, DefaultProduction(), 9)
+		return g.Take(100)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic under fixed seed")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Arrival < a[i-1].Arrival {
+			t.Fatal("arrivals not monotonically non-decreasing")
+		}
+		if a[i].ID != a[i-1].ID+1 {
+			t.Fatal("IDs not sequential")
+		}
+	}
+}
+
+func TestGeneratorRateMatchesProcess(t *testing.T) {
+	g := NewGenerator(Poisson{RatePerSec: 500}, Fixed{Size: 1}, 13)
+	qs := g.Take(20000)
+	elapsed := qs[len(qs)-1].Arrival.Seconds()
+	rate := float64(len(qs)) / elapsed
+	if rate < 450 || rate > 550 {
+		t.Errorf("empirical rate = %v qps, want ~500", rate)
+	}
+}
+
+func TestDistNames(t *testing.T) {
+	if DefaultProduction().Name() != "production" {
+		t.Error("production name")
+	}
+	if (Fixed{Size: 3}).Name() != "fixed(3)" {
+		t.Error("fixed name")
+	}
+	if (Poisson{RatePerSec: 2}).Name() == "" || (Uniform{RatePerSec: 2}).Name() == "" {
+		t.Error("arrival names empty")
+	}
+	if (Normal{Mean: 1, Stddev: 1}).Name() == "" || DefaultLogNormal().Name() == "" {
+		t.Error("dist names empty")
+	}
+}
