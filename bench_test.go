@@ -196,11 +196,12 @@ func BenchmarkMatMul256(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	x := tensor.RandUniform(rng, 256, 256, 1)
 	w := tensor.RandUniform(rng, 256, 256, 1)
-	b.SetBytes(int64(256 * 256 * 256 * 2 * 4 / (256 * 256)))
+	const flopsPerOp = 2 * 256 * 256 * 256 // total FLOPs of one 256x256x256 matmul
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMul(x, w)
 	}
+	b.ReportMetric(flopsPerOp*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
 }
 
 func BenchmarkEmbeddingBagSum80Lookups(b *testing.B) {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	deeprecsys "github.com/deeprecinfra/deeprecsys"
+	"github.com/deeprecinfra/deeprecsys/internal/par"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 	batchFlag := flag.Int("batch", 0, "fixed CPU batch for threshold sweeps (default: tuned)")
 	thresholdsFlag := flag.String("thresholds", "1,64,128,256,512,768,1001", "GPU thresholds to sweep")
 	queries := flag.Int("queries", 1200, "queries per capacity evaluation")
+	workers := flag.Int("workers", 0, "concurrent capacity searches (0 = GOMAXPROCS); output is identical at any setting")
 	flag.Parse()
 
 	opts := []deeprecsys.Option{deeprecsys.WithSearchFidelity(*queries, 0.03)}
@@ -47,13 +49,24 @@ func main() {
 	}
 	fmt.Printf("%s on %s, p95 <= %v\n", sys.Model(), sys.Platform(), sla)
 
+	// Grid points are independent capacity searches; fan out on a bounded
+	// worker pool and print fanned-in results in grid order.
+	capacityAt := func(batch, threshold int) deeprecsys.Decision {
+		d, err := sys.Capacity(batch, threshold, sla)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d
+	}
+
 	if !*withGPU {
+		batches := parseInts(*batchesFlag)
+		decisions := par.Map(*workers, batches, func(b int) deeprecsys.Decision {
+			return capacityAt(b, 0)
+		})
 		fmt.Printf("%-10s%12s%12s%10s\n", "batch", "QPS", "p95", "cpu util")
-		for _, b := range parseInts(*batchesFlag) {
-			d, err := sys.Capacity(b, 0, sla)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for i, b := range batches {
+			d := decisions[i]
 			fmt.Printf("%-10d%12.0f%12v%10.2f\n", b, d.QPS, d.P95.Round(time.Microsecond), d.CPUUtil)
 		}
 		return
@@ -69,12 +82,13 @@ func main() {
 		batch = cpuOnly.Tune(sla).BatchSize
 		fmt.Printf("tuned CPU batch: %d\n", batch)
 	}
+	thresholds := parseInts(*thresholdsFlag)
+	decisions := par.Map(*workers, thresholds, func(t int) deeprecsys.Decision {
+		return capacityAt(batch, t)
+	})
 	fmt.Printf("%-12s%12s%12s%12s\n", "threshold", "QPS", "GPU work%", "GPU util")
-	for _, t := range parseInts(*thresholdsFlag) {
-		d, err := sys.Capacity(batch, t, sla)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, t := range thresholds {
+		d := decisions[i]
 		fmt.Printf("%-12d%12.0f%11.0f%%%12.2f\n", t, d.QPS, d.GPUWorkShare*100, d.GPUUtil)
 	}
 }

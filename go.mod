@@ -1,0 +1,3 @@
+module github.com/deeprecinfra/deeprecsys
+
+go 1.22

@@ -179,3 +179,36 @@ func TestFleetResultSubsetClamps(t *testing.T) {
 		t.Errorf("subset clamp: %d vs %d", got, len(res.AllLatencies()))
 	}
 }
+
+func TestServeParallelMatchesSerial(t *testing.T) {
+	fleet := NewFleet(mkRMC1Engine, 5, 0.05, 11)
+	traffic := Diurnal{BaseQPS: 5 * 1500, Amplitude: 0.2, Period: 24 * time.Hour}
+	opts := ServeOpts{
+		Sizes:            workload.DefaultProduction(),
+		QueriesPerWindow: 200,
+		Windows:          3,
+		Warmup:           20,
+		Seed:             5,
+	}
+	opts.Workers = 1
+	serial := fleet.Serve(serving.Config{BatchSize: 128}, traffic, opts)
+	opts.Workers = 8
+	parallel := fleet.Serve(serving.Config{BatchSize: 128}, traffic, opts)
+	if len(serial.PerNode) != len(parallel.PerNode) {
+		t.Fatalf("node counts differ: %d vs %d", len(serial.PerNode), len(parallel.PerNode))
+	}
+	for i := range serial.PerNode {
+		a, b := serial.PerNode[i], parallel.PerNode[i]
+		if a.NodeID != b.NodeID {
+			t.Fatalf("node %d: IDs differ (%d vs %d)", i, a.NodeID, b.NodeID)
+		}
+		if len(a.Latencies) != len(b.Latencies) {
+			t.Fatalf("node %d: sample counts differ (%d vs %d)", i, len(a.Latencies), len(b.Latencies))
+		}
+		for j := range a.Latencies {
+			if a.Latencies[j] != b.Latencies[j] {
+				t.Fatalf("node %d sample %d: %v vs %v", i, j, a.Latencies[j], b.Latencies[j])
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"github.com/deeprecinfra/deeprecsys/internal/par"
 	"github.com/deeprecinfra/deeprecsys/internal/serving"
 	"github.com/deeprecinfra/deeprecsys/internal/stats"
 	"github.com/deeprecinfra/deeprecsys/internal/workload"
@@ -39,6 +40,11 @@ type ServeOpts struct {
 	Windows          int // traffic windows per run (e.g. 24 hourly windows)
 	Warmup           int // per node per window
 	Seed             int64
+	// Workers bounds the per-node simulation worker pool; 0 uses
+	// GOMAXPROCS. Nodes are statistically independent (own engine, own
+	// seeded stream), so the worker count changes wall-clock time only —
+	// results are identical to the serial Workers=1 run.
+	Workers int
 }
 
 // Validate checks the options.
@@ -95,13 +101,15 @@ func (r FleetResult) SubsetLatencies(k int) []float64 {
 // Each node receives an independent Poisson stream at the window's per-node
 // rate; streams are seeded per (node, window) so that runs with different
 // configurations see identical arrival processes — paired comparison.
+//
+// Nodes simulate concurrently on a bounded worker pool (ServeOpts.Workers):
+// each node's simulation is self-contained, and results fan in by node
+// index, so the parallel run is identical to the serial one.
 func (f *Fleet) Serve(cfg serving.Config, traffic Diurnal, opts ServeOpts) FleetResult {
 	if err := opts.Validate(); err != nil {
 		panic(err)
 	}
-	res := FleetResult{PerNode: make([]NodeResult, len(f.Nodes))}
-	for ni, node := range f.Nodes {
-		res.PerNode[ni].NodeID = node.ID
+	perNode := par.Map(opts.Workers, f.Nodes, func(node Node) NodeResult {
 		var lats []float64
 		for w := 0; w < opts.Windows; w++ {
 			t := time.Duration(float64(traffic.Period) * (float64(w) + 0.5) / float64(opts.Windows))
@@ -113,9 +121,9 @@ func (f *Fleet) Serve(cfg serving.Config, traffic Diurnal, opts ServeOpts) Fleet
 			r := serving.Run(node.Engine, runCfg, gen.Take(opts.QueriesPerWindow))
 			lats = append(lats, r.LatencySamples...)
 		}
-		res.PerNode[ni].Latencies = lats
-	}
-	return res
+		return NodeResult{NodeID: node.ID, Latencies: lats}
+	})
+	return FleetResult{PerNode: perNode}
 }
 
 // ABResult compares two serving configurations over identical traffic.

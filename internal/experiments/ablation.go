@@ -69,34 +69,45 @@ func Ablation(opt Options) (Report, []AblationData) {
 		Header: []string{"Model", "Variant", "tuned batch", "tuned QPS", "baseline QPS", "gain"},
 	}
 	models := opt.modelNames([]string{"DLRM-RMC1", "DLRM-RMC3"})
-	var data []AblationData
+
+	type point struct {
+		cfg     model.Config
+		variant ablationVariant
+	}
+	var points []point
 	for _, name := range models {
 		cfg, err := model.ByName(name)
 		if err != nil {
 			panic(err)
 		}
 		for _, v := range ablationVariants() {
-			cpu := platform.Skylake()
-			v.apply(cpu)
-			e := serving.NewPlatformEngine(cpu, nil, cfg)
-			opts := opt.searchOpts(workload.DefaultProduction(), cfg.SLAMedium)
-			base := sched.StaticBaseline(e, opts)
-			tuned := sched.DeepRecSchedCPU(e, opts)
-			d := AblationData{
-				Model:    name,
-				Variant:  v.name,
-				Batch:    tuned.BatchSize,
-				TunedQPS: tuned.QPS,
-				BaseQPS:  base.QPS,
-			}
-			if base.QPS > 0 {
-				d.GainOverB = tuned.QPS / base.QPS
-			}
-			data = append(data, d)
-			r.AddRow(name, v.name, fmt.Sprintf("%d", d.Batch),
-				fmt.Sprintf("%.0f", d.TunedQPS), fmt.Sprintf("%.0f", d.BaseQPS),
-				fmt.Sprintf("%.2fx", d.GainOverB))
+			points = append(points, point{cfg: cfg, variant: v})
 		}
+	}
+	data := runPoints(opt, points, func(p point) AblationData {
+		// Each point mutates its own private copy of the platform spec.
+		cpu := platform.Skylake()
+		p.variant.apply(cpu)
+		e := serving.NewPlatformEngine(cpu, nil, p.cfg)
+		opts := opt.searchOpts(workload.DefaultProduction(), p.cfg.SLAMedium)
+		base := sched.StaticBaseline(e, opts)
+		tuned := sched.DeepRecSchedCPU(e, opts)
+		d := AblationData{
+			Model:    p.cfg.Name,
+			Variant:  p.variant.name,
+			Batch:    tuned.BatchSize,
+			TunedQPS: tuned.QPS,
+			BaseQPS:  base.QPS,
+		}
+		if base.QPS > 0 {
+			d.GainOverB = tuned.QPS / base.QPS
+		}
+		return d
+	})
+	for _, d := range data {
+		r.AddRow(d.Model, d.Variant, fmt.Sprintf("%d", d.Batch),
+			fmt.Sprintf("%.0f", d.TunedQPS), fmt.Sprintf("%.0f", d.BaseQPS),
+			fmt.Sprintf("%.2fx", d.GainOverB))
 	}
 	r.AddNote("knock-outs change absolute QPS (the hardware got 'better'); the column to read is the tuned batch and the gain over the baseline under the same variant")
 	return r, data

@@ -175,8 +175,7 @@ func Fig5(opt Options) (Report, []Fig5Data) {
 		workload.DefaultLogNormal(),
 		workload.Normal{Mean: 100, Stddev: 40},
 	}
-	var data []Fig5Data
-	for _, d := range dists {
+	data := runPoints(opt, dists, func(d workload.SizeDist) Fig5Data {
 		n := opt.DistSamples
 		rng := rand.New(rand.NewSource(opt.Seed))
 		over := 0
@@ -185,7 +184,7 @@ func Fig5(opt Options) (Report, []Fig5Data) {
 				over++
 			}
 		}
-		fd := Fig5Data{
+		return Fig5Data{
 			Name:            d.Name(),
 			P50:             workload.Quantile(d, 0.50, n, opt.Seed),
 			P75:             workload.Quantile(d, 0.75, n, opt.Seed),
@@ -194,7 +193,8 @@ func Fig5(opt Options) (Report, []Fig5Data) {
 			Max:             workload.Quantile(d, 1.0, n, opt.Seed),
 			TailMassOver600: float64(over) / float64(n),
 		}
-		data = append(data, fd)
+	})
+	for _, fd := range data {
 		r.AddRow(fd.Name, fmt.Sprintf("%d", fd.P50), fmt.Sprintf("%d", fd.P75),
 			fmt.Sprintf("%d", fd.P90), fmt.Sprintf("%d", fd.P99),
 			fmt.Sprintf("%d", fd.Max), fmt.Sprintf("%.3f", fd.TailMassOver600))
@@ -225,8 +225,11 @@ func Fig6(opt Options) (Report, []Fig6Data) {
 	p75 := workload.Quantile(prod, 0.75, opt.DistSamples, opt.Seed)
 	skl, gpu := platform.Skylake(), platform.DefaultGPU()
 
-	var data []Fig6Data
-	for _, name := range opt.modelNames(model.ZooNames()) {
+	type outcome struct {
+		data       Fig6Data
+		smallRatio float64 // CPU/GPU speedup on small queries (report-only)
+	}
+	outcomes := runPoints(opt, opt.modelNames(model.ZooNames()), func(name string) outcome {
 		cfg, err := model.ByName(name)
 		if err != nil {
 			panic(err)
@@ -251,15 +254,22 @@ func Fig6(opt Options) (Report, []Fig6Data) {
 			}
 		}
 		totalCPU := cpuSmall + cpuLarge
-		fd := Fig6Data{
-			Model:           cfg.Name,
-			SmallCPUShare:   float64(cpuSmall) / float64(totalCPU),
-			LargeGPUSpeedup: float64(cpuLarge) / float64(gpuLarge),
+		return outcome{
+			data: Fig6Data{
+				Model:           cfg.Name,
+				SmallCPUShare:   float64(cpuSmall) / float64(totalCPU),
+				LargeGPUSpeedup: float64(cpuLarge) / float64(gpuLarge),
+			},
+			smallRatio: float64(cpuSmall) / float64(gpuSmall),
 		}
+	})
+	var data []Fig6Data
+	for _, o := range outcomes {
+		fd := o.data
 		data = append(data, fd)
-		r.AddRow(cfg.Name, pct(fd.SmallCPUShare), pct(1-fd.SmallCPUShare),
+		r.AddRow(fd.Model, pct(fd.SmallCPUShare), pct(1-fd.SmallCPUShare),
 			fmt.Sprintf("%.2fx", fd.LargeGPUSpeedup),
-			fmt.Sprintf("%.2fx", float64(cpuSmall)/float64(gpuSmall)))
+			fmt.Sprintf("%.2fx", o.smallRatio))
 	}
 	r.AddNote("p75 query size boundary = %d items", p75)
 	return r, data

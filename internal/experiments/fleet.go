@@ -35,6 +35,7 @@ func (o Options) fleetOpts() cluster.ServeOpts {
 		Windows:          o.FleetWindows,
 		Warmup:           o.Warmup / 2,
 		Seed:             o.Seed,
+		Workers:          o.Workers,
 	}
 }
 
@@ -63,6 +64,9 @@ func Fig7(opt Options) (Report, []Fig7Data) {
 		{"DLRM-RMC1", platform.Skylake()},
 		{"DLRM-RMC3", platform.Broadwell()},
 	}
+	// The combo loop stays serial: each Fleet.Serve inside already fans out
+	// over its nodes with Options.Workers, and nesting a second pool here
+	// would oversubscribe the documented worker bound.
 	var data []Fig7Data
 	for _, combo := range combos {
 		fleet, _ := fleetFor(combo.model, combo.cpu, opt.FleetNodes, opt.Seed)

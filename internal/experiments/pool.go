@@ -1,0 +1,16 @@
+package experiments
+
+import "github.com/deeprecinfra/deeprecsys/internal/par"
+
+// runPoints evaluates fn over the sweep points of one experiment on a
+// bounded worker pool (Options.Workers goroutines; 0 = GOMAXPROCS) and
+// returns the results in input order.
+//
+// Every experiment's sweep decomposes into independent points — each point
+// runs its own discrete-event simulations against read-only engines and
+// seeded generators — so the fan-out changes wall-clock time only: the
+// assembled report is byte-identical to serial execution (Workers=1),
+// which TestParallelSweepMatchesSerial asserts under the race detector.
+func runPoints[P, R any](opt Options, points []P, fn func(P) R) []R {
+	return par.Map(opt.Workers, points, fn)
+}

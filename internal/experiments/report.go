@@ -72,6 +72,10 @@ type Options struct {
 	QueriesPerWindow int
 	// DistSamples sizes distribution characterizations.
 	DistSamples int
+	// Workers bounds the sweep worker pool; 0 uses GOMAXPROCS. Sweeps fan
+	// out deterministically and fan in preserving input order, so reports
+	// are byte-identical across worker counts (Workers=1 is fully serial).
+	Workers int
 }
 
 // Quick returns reduced-fidelity options for tests.

@@ -50,25 +50,44 @@ func Fig9(opt Options) (Report, []Fig9Data) {
 	}
 	models := opt.modelNames([]string{"DLRM-RMC1", "DLRM-RMC3", "DIEN"})
 	batches := []int{16, 64, 128, 256, 512, 1024}
-	var data []Fig9Data
+
+	type point struct {
+		e     *serving.PlatformEngine
+		name  string
+		sla   time.Duration
+		batch int
+	}
+	var points []point
 	for _, name := range models {
 		e, cfg := engineFor(name, platform.Skylake(), nil)
 		for _, level := range []model.SLATarget{model.SLALow, model.SLAMedium} {
 			sla := cfg.SLA(level)
-			opts := opt.searchOpts(workload.DefaultProduction(), sla)
-			row := []string{name, sla.String()}
-			bestQPS, bestBatch := 0.0, 0
 			for _, b := range batches {
-				qps, _ := serving.MaxQPS(e, serving.Config{BatchSize: b}, opts)
-				data = append(data, Fig9Data{Model: name, SLA: sla, Batch: b, QPS: qps})
-				row = append(row, fmt.Sprintf("%.0f", qps))
-				if qps > bestQPS {
-					bestQPS, bestBatch = qps, b
-				}
+				points = append(points, point{e: e, name: name, sla: sla, batch: b})
 			}
-			row = append(row, fmt.Sprintf("%d", bestBatch))
-			r.AddRow(row...)
 		}
+	}
+	qpsAt := runPoints(opt, points, func(p point) float64 {
+		opts := opt.searchOpts(workload.DefaultProduction(), p.sla)
+		qps, _ := serving.MaxQPS(p.e, serving.Config{BatchSize: p.batch}, opts)
+		return qps
+	})
+
+	var data []Fig9Data
+	for base := 0; base < len(points); base += len(batches) {
+		p0 := points[base]
+		row := []string{p0.name, p0.sla.String()}
+		bestQPS, bestBatch := 0.0, 0
+		for j, b := range batches {
+			qps := qpsAt[base+j]
+			data = append(data, Fig9Data{Model: p0.name, SLA: p0.sla, Batch: b, QPS: qps})
+			row = append(row, fmt.Sprintf("%.0f", qps))
+			if qps > bestQPS {
+				bestQPS, bestBatch = qps, b
+			}
+		}
+		row = append(row, fmt.Sprintf("%d", bestBatch))
+		r.AddRow(row...)
 	}
 	return r, data
 }
@@ -91,17 +110,45 @@ func Fig10(opt Options) (Report, []Fig10Data) {
 	}
 	models := opt.modelNames([]string{"DLRM-RMC1", "DLRM-RMC3", "DIEN"})
 	thresholds := []int{1, 64, 256, 512, 768, workload.MaxQuerySize + 1}
-	var data []Fig10Data
-	for _, name := range models {
+
+	type modelCase struct {
+		e    *serving.PlatformEngine
+		name string
+		opts serving.SearchOpts
+	}
+	cases := make([]modelCase, len(models))
+	for i, name := range models {
 		e, cfg := engineFor(name, platform.Skylake(), platform.DefaultGPU())
-		opts := opt.searchOpts(workload.DefaultProduction(), cfg.SLAMedium)
-		// CPU-side batch fixed at the model's tuned value.
-		batch := sched.TuneBatch(e, 0, opts).BatchSize
-		row := []string{name}
-		bestQPS, bestT := 0.0, 0
+		cases[i] = modelCase{e: e, name: name, opts: opt.searchOpts(workload.DefaultProduction(), cfg.SLAMedium)}
+	}
+	// CPU-side batch fixed at each model's tuned value.
+	tunedBatch := runPoints(opt, cases, func(c modelCase) int {
+		return sched.TuneBatch(c.e, 0, c.opts).BatchSize
+	})
+
+	type point struct {
+		caseIdx   int
+		threshold int
+	}
+	var points []point
+	for ci := range cases {
 		for _, t := range thresholds {
-			qps, _ := serving.MaxQPS(e, serving.Config{BatchSize: batch, GPUThreshold: t}, opts)
-			data = append(data, Fig10Data{Model: name, Threshold: t, QPS: qps})
+			points = append(points, point{caseIdx: ci, threshold: t})
+		}
+	}
+	qpsAt := runPoints(opt, points, func(p point) float64 {
+		c := cases[p.caseIdx]
+		qps, _ := serving.MaxQPS(c.e, serving.Config{BatchSize: tunedBatch[p.caseIdx], GPUThreshold: p.threshold}, c.opts)
+		return qps
+	})
+
+	var data []Fig10Data
+	for ci, c := range cases {
+		row := []string{c.name}
+		bestQPS, bestT := 0.0, 0
+		for j, t := range thresholds {
+			qps := qpsAt[ci*len(thresholds)+j]
+			data = append(data, Fig10Data{Model: c.name, Threshold: t, QPS: qps})
 			row = append(row, fmt.Sprintf("%.0f", qps))
 			if qps > bestQPS {
 				bestQPS, bestT = qps, t
@@ -145,58 +192,68 @@ func Fig11(opt Options) (Report, []Fig11Data) {
 	cpuPower := platform.PowerModel{CPU: skl}
 	gpuPower := platform.PowerModel{CPU: skl, GPU: gpu}
 
-	var data []Fig11Data
-	gains := map[model.SLATarget]*struct{ cpu, gpu, cpuW, gpuW []float64 }{}
-	for _, level := range model.AllSLATargets() {
-		gains[level] = &struct{ cpu, gpu, cpuW, gpuW []float64 }{}
+	type point struct {
+		cpuEng *serving.PlatformEngine
+		gpuEng *serving.PlatformEngine
+		name   string
+		level  model.SLATarget
+		sla    time.Duration
 	}
-
+	var points []point
 	for _, name := range opt.modelNames(model.ZooNames()) {
 		cpuEng, cfg := engineFor(name, skl, nil)
 		gpuEng, _ := engineFor(name, skl, gpu)
 		for _, level := range model.AllSLATargets() {
-			opts := opt.searchOpts(workload.DefaultProduction(), cfg.SLA(level))
-			base := sched.StaticBaseline(cpuEng, opts)
-			drsCPU := sched.DeepRecSchedCPU(cpuEng, opts)
-			drsGPU := sched.DeepRecSchedGPU(gpuEng, opts)
-			// The tuner explores a power-of-two grid; if the incumbent
-			// static batch happens to sit in a between-grid sweet spot, a
-			// deployment keeps the incumbent rather than regressing.
-			if base.QPS > drsCPU.QPS {
-				drsCPU = base
-			}
-			if drsCPU.QPS > drsGPU.QPS {
-				drsGPU = drsCPU
-			}
-
-			d := Fig11Data{
-				Model: name, Level: level,
-				BaselineQPS:        base.QPS,
-				CPUQPS:             drsCPU.QPS,
-				GPUQPS:             drsGPU.QPS,
-				BaselineQPSPerWatt: cpuPower.QPSPerWatt(base.QPS, 0),
-				CPUQPSPerWatt:      cpuPower.QPSPerWatt(drsCPU.QPS, 0),
-				GPUQPSPerWatt:      gpuPower.QPSPerWatt(drsGPU.QPS, drsGPU.Result.GPUUtil),
-				CPUBatch:           drsCPU.BatchSize,
-				GPUThreshold:       drsGPU.GPUThreshold,
-			}
-			data = append(data, d)
-			if base.QPS > 0 {
-				g := gains[level]
-				g.cpu = append(g.cpu, d.CPUQPS/d.BaselineQPS)
-				g.gpu = append(g.gpu, d.GPUQPS/d.BaselineQPS)
-				g.cpuW = append(g.cpuW, d.CPUQPSPerWatt/d.BaselineQPSPerWatt)
-				g.gpuW = append(g.gpuW, d.GPUQPSPerWatt/d.BaselineQPSPerWatt)
-			}
-			r.AddRow(name, level.String(),
-				fmt.Sprintf("%.0f", d.BaselineQPS),
-				fmt.Sprintf("%.0f", d.CPUQPS),
-				fmt.Sprintf("%.0f", d.GPUQPS),
-				ratio(d.CPUQPS, d.BaselineQPS),
-				ratio(d.GPUQPS, d.BaselineQPS),
-				ratio(d.CPUQPSPerWatt, d.BaselineQPSPerWatt),
-				ratio(d.GPUQPSPerWatt, d.BaselineQPSPerWatt))
+			points = append(points, point{cpuEng: cpuEng, gpuEng: gpuEng, name: name, level: level, sla: cfg.SLA(level)})
 		}
+	}
+	data := runPoints(opt, points, func(p point) Fig11Data {
+		opts := opt.searchOpts(workload.DefaultProduction(), p.sla)
+		base := sched.StaticBaseline(p.cpuEng, opts)
+		drsCPU := sched.DeepRecSchedCPU(p.cpuEng, opts)
+		drsGPU := sched.DeepRecSchedGPU(p.gpuEng, opts)
+		// The tuner explores a power-of-two grid; if the incumbent
+		// static batch happens to sit in a between-grid sweet spot, a
+		// deployment keeps the incumbent rather than regressing.
+		if base.QPS > drsCPU.QPS {
+			drsCPU = base
+		}
+		if drsCPU.QPS > drsGPU.QPS {
+			drsGPU = drsCPU
+		}
+		return Fig11Data{
+			Model: p.name, Level: p.level,
+			BaselineQPS:        base.QPS,
+			CPUQPS:             drsCPU.QPS,
+			GPUQPS:             drsGPU.QPS,
+			BaselineQPSPerWatt: cpuPower.QPSPerWatt(base.QPS, 0),
+			CPUQPSPerWatt:      cpuPower.QPSPerWatt(drsCPU.QPS, 0),
+			GPUQPSPerWatt:      gpuPower.QPSPerWatt(drsGPU.QPS, drsGPU.Result.GPUUtil),
+			CPUBatch:           drsCPU.BatchSize,
+			GPUThreshold:       drsGPU.GPUThreshold,
+		}
+	})
+
+	gains := map[model.SLATarget]*struct{ cpu, gpu, cpuW, gpuW []float64 }{}
+	for _, level := range model.AllSLATargets() {
+		gains[level] = &struct{ cpu, gpu, cpuW, gpuW []float64 }{}
+	}
+	for _, d := range data {
+		if d.BaselineQPS > 0 {
+			g := gains[d.Level]
+			g.cpu = append(g.cpu, d.CPUQPS/d.BaselineQPS)
+			g.gpu = append(g.gpu, d.GPUQPS/d.BaselineQPS)
+			g.cpuW = append(g.cpuW, d.CPUQPSPerWatt/d.BaselineQPSPerWatt)
+			g.gpuW = append(g.gpuW, d.GPUQPSPerWatt/d.BaselineQPSPerWatt)
+		}
+		r.AddRow(d.Model, d.Level.String(),
+			fmt.Sprintf("%.0f", d.BaselineQPS),
+			fmt.Sprintf("%.0f", d.CPUQPS),
+			fmt.Sprintf("%.0f", d.GPUQPS),
+			ratio(d.CPUQPS, d.BaselineQPS),
+			ratio(d.GPUQPS, d.BaselineQPS),
+			ratio(d.CPUQPSPerWatt, d.BaselineQPSPerWatt),
+			ratio(d.GPUQPSPerWatt, d.BaselineQPSPerWatt))
 	}
 	for _, level := range model.AllSLATargets() {
 		g := gains[level]

@@ -37,29 +37,49 @@ func Fig12a(opt Options) (Report, []Fig12aData) {
 		Header: []string{"SLA", "prod batch", "prod QPS", "lognorm batch", "mistuned QPS", "penalty"},
 	}
 	e, cfg := engineFor("DLRM-RMC1", platform.Skylake(), nil)
-	var data []Fig12aData
-	for _, level := range model.AllSLATargets() {
-		sla := cfg.SLA(level)
-		prodOpts := opt.searchOpts(workload.DefaultProduction(), sla)
-		lnOpts := opt.searchOpts(workload.DefaultLogNormal(), sla)
 
-		prod := sched.DeepRecSchedCPU(e, prodOpts)
-		ln := sched.DeepRecSchedCPU(e, lnOpts)
+	// Two independent tasks per SLA level: the production-traffic tune, and
+	// the lognormal tune followed by its mistuned application to production
+	// traffic (which depends on the lognormal batch).
+	type task struct {
+		level     model.SLATarget
+		lognormal bool
+	}
+	type outcome struct {
+		tuned       sched.Decision
+		mistunedQPS float64
+	}
+	var tasks []task
+	for _, level := range model.AllSLATargets() {
+		tasks = append(tasks, task{level: level, lognormal: false}, task{level: level, lognormal: true})
+	}
+	outcomes := runPoints(opt, tasks, func(t task) outcome {
+		sla := cfg.SLA(t.level)
+		prodOpts := opt.searchOpts(workload.DefaultProduction(), sla)
+		if !t.lognormal {
+			return outcome{tuned: sched.DeepRecSchedCPU(e, prodOpts)}
+		}
+		ln := sched.DeepRecSchedCPU(e, opt.searchOpts(workload.DefaultLogNormal(), sla))
 		// Apply the lognormal-tuned configuration to production traffic.
 		mistunedQPS, _ := serving.MaxQPS(e, serving.Config{BatchSize: ln.BatchSize}, prodOpts)
+		return outcome{tuned: ln, mistunedQPS: mistunedQPS}
+	})
 
+	var data []Fig12aData
+	for i, level := range model.AllSLATargets() {
+		prod, ln := outcomes[2*i], outcomes[2*i+1]
 		d := Fig12aData{
 			Level:          level,
-			ProdBatch:      float64(prod.BatchSize),
-			ProdQPS:        prod.QPS,
-			LogNormalBatch: float64(ln.BatchSize),
-			MistunedQPS:    mistunedQPS,
+			ProdBatch:      float64(prod.tuned.BatchSize),
+			ProdQPS:        prod.tuned.QPS,
+			LogNormalBatch: float64(ln.tuned.BatchSize),
+			MistunedQPS:    ln.mistunedQPS,
 		}
-		if mistunedQPS > 0 {
-			d.MistunePenalty = prod.QPS / mistunedQPS
+		if d.MistunedQPS > 0 {
+			d.MistunePenalty = d.ProdQPS / d.MistunedQPS
 		}
 		data = append(data, d)
-		r.AddRow(sla.String(),
+		r.AddRow(cfg.SLA(level).String(),
 			fmt.Sprintf("%.0f", d.ProdBatch), fmt.Sprintf("%.0f", d.ProdQPS),
 			fmt.Sprintf("%.0f", d.LogNormalBatch), fmt.Sprintf("%.0f", d.MistunedQPS),
 			fmt.Sprintf("%.2fx", d.MistunePenalty))
@@ -86,14 +106,14 @@ func Fig12b(opt Options) (Report, []Fig12bData) {
 		Header: []string{"Model", "Class", "optimal batch", "QPS"},
 	}
 	models := opt.modelNames([]string{"DLRM-RMC1", "DIN", "DLRM-RMC3", "WnD"})
-	var data []Fig12bData
-	for _, name := range models {
+	data := runPoints(opt, models, func(name string) Fig12bData {
 		e, cfg := engineFor(name, platform.Skylake(), nil)
 		opts := opt.searchOpts(workload.DefaultProduction(), cfg.SLA(model.SLAHigh))
 		d := sched.DeepRecSchedCPU(e, opts)
-		fd := Fig12bData{Model: name, Class: cfg.Class, Batch: d.BatchSize, QPS: d.QPS}
-		data = append(data, fd)
-		r.AddRow(name, cfg.Class.String(), fmt.Sprintf("%d", fd.Batch), fmt.Sprintf("%.0f", fd.QPS))
+		return Fig12bData{Model: name, Class: cfg.Class, Batch: d.BatchSize, QPS: d.QPS}
+	})
+	for _, fd := range data {
+		r.AddRow(fd.Model, fd.Class.String(), fmt.Sprintf("%d", fd.Batch), fmt.Sprintf("%.0f", fd.QPS))
 	}
 	return r, data
 }
@@ -122,17 +142,25 @@ func Fig12c(opt Options) (Report, []Fig12cData) {
 		model.SLAMedium: 125 * time.Millisecond,
 		model.SLAHigh:   175 * time.Millisecond,
 	}
-	var data []Fig12cData
+	type point struct {
+		e     *serving.PlatformEngine
+		cpu   string
+		level model.SLATarget
+	}
+	var points []point
 	for _, cpu := range []*platform.CPU{platform.Broadwell(), platform.Skylake()} {
 		e, _ := engineFor("DLRM-RMC3", cpu, nil)
 		for _, level := range model.AllSLATargets() {
-			sla := targets[level]
-			opts := opt.searchOpts(workload.DefaultProduction(), sla)
-			d := sched.DeepRecSchedCPU(e, opts)
-			fd := Fig12cData{Platform: cpu.Name, Level: level, Batch: d.BatchSize, QPS: d.QPS}
-			data = append(data, fd)
-			r.AddRow(cpu.Name, sla.String(), fmt.Sprintf("%d", fd.Batch), fmt.Sprintf("%.0f", fd.QPS))
+			points = append(points, point{e: e, cpu: cpu.Name, level: level})
 		}
+	}
+	data := runPoints(opt, points, func(p point) Fig12cData {
+		opts := opt.searchOpts(workload.DefaultProduction(), targets[p.level])
+		d := sched.DeepRecSchedCPU(p.e, opts)
+		return Fig12cData{Platform: p.cpu, Level: p.level, Batch: d.BatchSize, QPS: d.QPS}
+	})
+	for _, fd := range data {
+		r.AddRow(fd.Platform, targets[fd.Level].String(), fmt.Sprintf("%d", fd.Batch), fmt.Sprintf("%.0f", fd.QPS))
 	}
 	return r, data
 }
@@ -173,11 +201,27 @@ func Fig14(opt Options) (Report, []Fig14Data) {
 		med / 10, med * 15 / 100, med * 2 / 10, med * 3 / 10,
 		med * 5 / 10, med, med * 3 / 2,
 	}
-	var data []Fig14Data
+	// One task per (target, scheduler variant): the CPU-only and the
+	// accelerated hill climbs are independent searches.
+	type task struct {
+		sla time.Duration
+		gpu bool
+	}
+	var tasks []task
 	for _, sla := range targets {
-		opts := opt.searchOpts(workload.DefaultProduction(), sla)
-		dc := sched.DeepRecSchedCPU(cpuEng, opts)
-		dg := sched.DeepRecSchedGPU(gpuEng, opts)
+		tasks = append(tasks, task{sla: sla, gpu: false}, task{sla: sla, gpu: true})
+	}
+	decisions := runPoints(opt, tasks, func(t task) sched.Decision {
+		opts := opt.searchOpts(workload.DefaultProduction(), t.sla)
+		if t.gpu {
+			return sched.DeepRecSchedGPU(gpuEng, opts)
+		}
+		return sched.DeepRecSchedCPU(cpuEng, opts)
+	})
+
+	var data []Fig14Data
+	for i, sla := range targets {
+		dc, dg := decisions[2*i], decisions[2*i+1]
 		d := Fig14Data{
 			SLA:           sla,
 			CPUQPS:        dc.QPS,

@@ -1,0 +1,69 @@
+package par
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 3, 7, 100, 1000} {
+		got := Map(workers, items, func(x int) int { return x * x })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapSerialAndParallelAgree(t *testing.T) {
+	items := []string{"a", "bb", "ccc", "dddd"}
+	fn := func(s string) int { return len(s) }
+	serial := Map(1, items, fn)
+	parallel := Map(4, items, fn)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("serial %v != parallel %v", serial, parallel)
+	}
+}
+
+func TestMapEmptyItems(t *testing.T) {
+	out := Map(4, nil, func(int) int { panic("must not be called") })
+	if len(out) != 0 {
+		t.Errorf("len = %d, want 0", len(out))
+	}
+}
+
+func TestMapRunsEveryItemExactlyOnce(t *testing.T) {
+	var calls atomic.Int64
+	items := make([]int, 257)
+	Map(8, items, func(int) struct{} {
+		calls.Add(1)
+		return struct{}{}
+	})
+	if got := calls.Load(); got != 257 {
+		t.Errorf("fn called %d times, want 257", got)
+	}
+}
+
+func TestMapPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Map(4, []int{0, 1, 2, 3, 4, 5, 6, 7}, func(x int) int {
+		if x == 3 {
+			panic("boom")
+		}
+		return x
+	})
+}

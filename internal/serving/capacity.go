@@ -46,16 +46,12 @@ func DefaultSearchOpts(sizes workload.SizeDist, sla time.Duration) SearchOpts {
 // pre-filter.
 const utilSampleQueries = 300
 
-// offeredUtil estimates the utilization the configuration would impose on
-// the CPU pool and the accelerator at the given arrival rate, by sampling
-// query sizes and pricing their requests at full contention (the operating
-// regime near capacity). Utilization above 1 means the offered work exceeds
-// the hardware's service rate: no finite-stream simulation can make such a
-// rate sustainable, so Evaluate rejects it outright. This guards the
-// capacity search against the finite-stream artifact where a grossly
-// overloaded run "meets" the SLA because its whole backlog fits within one
-// SLA window.
-func offeredUtil(e Engine, cfg Config, opts SearchOpts, qps float64) (cpuUtil, gpuUtil float64) {
+// perQuerySeconds estimates the mean service demand one query imposes on
+// the CPU pool and the accelerator, by sampling query sizes and pricing
+// their requests at full contention (the operating regime near capacity).
+// The estimate is independent of the arrival rate, so a capacity search
+// computes it once and reuses it at every probe.
+func perQuerySeconds(e Engine, cfg Config, opts SearchOpts) (cpuSecPerQuery, gpuSecPerQuery float64) {
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eedfeed))
 	var cpuSec, gpuSec float64
 	for i := 0; i < utilSampleQueries; i++ {
@@ -72,9 +68,7 @@ func offeredUtil(e Engine, cfg Config, opts SearchOpts, qps float64) (cpuUtil, g
 			cpuSec += e.CPURequest(tail, e.Cores()).Seconds()
 		}
 	}
-	perQueryCPU := cpuSec / utilSampleQueries
-	perQueryGPU := gpuSec / utilSampleQueries
-	return qps * perQueryCPU / float64(e.Cores()), qps * perQueryGPU / float64(e.GPUStreams())
+	return cpuSec / utilSampleQueries, gpuSec / utilSampleQueries
 }
 
 // Evaluate runs one serving simulation at the given Poisson arrival rate and
@@ -87,18 +81,64 @@ func Evaluate(e Engine, cfg Config, opts SearchOpts, qps float64) (Result, bool)
 	if qps <= 0 {
 		panic(fmt.Sprintf("serving: non-positive rate %v", qps))
 	}
-	if cpuUtil, gpuUtil := offeredUtil(e, cfg, opts, qps); cpuUtil > 1 || gpuUtil > 1 {
+	search := newCapacitySearch(e, cfg, opts)
+	return search.evaluate(qps)
+}
+
+// capacitySearch carries the probe-invariant state of one capacity search:
+// the pre-generated query-stream shape, a reusable realization buffer, and
+// the per-query service demand behind the stability pre-filter. One seeded
+// stream shape serves every probed rate — only the arrival gaps scale — so
+// the search stops regenerating the identical workload per evaluation.
+type capacitySearch struct {
+	e    Engine
+	cfg  Config
+	opts SearchOpts
+
+	stream      *workload.PoissonStream
+	buf         []workload.Query
+	perQueryCPU float64
+	perQueryGPU float64
+}
+
+func newCapacitySearch(e Engine, cfg Config, opts SearchOpts) *capacitySearch {
+	cpuSec, gpuSec := perQuerySeconds(e, cfg, opts)
+	return &capacitySearch{
+		e:           e,
+		cfg:         cfg,
+		opts:        opts,
+		perQueryCPU: cpuSec,
+		perQueryGPU: gpuSec,
+	}
+}
+
+// evaluate is Evaluate with the probe-invariant state hoisted: identical
+// semantics, shared stream shape. The stream is generated lazily so a rate
+// the utilization pre-filter rejects costs no stream generation at all.
+func (s *capacitySearch) evaluate(qps float64) (Result, bool) {
+	// Utilization above 1 means the offered work exceeds the hardware's
+	// service rate: no finite-stream simulation can make such a rate
+	// sustainable, so reject it outright. This guards the capacity search
+	// against the finite-stream artifact where a grossly overloaded run
+	// "meets" the SLA because its whole backlog fits within one SLA window.
+	cpuUtil := qps * s.perQueryCPU / float64(s.e.Cores())
+	gpuUtil := qps * s.perQueryGPU / float64(s.e.GPUStreams())
+	if cpuUtil > 1 || gpuUtil > 1 {
 		return Result{}, false
 	}
-	cfg.Warmup = opts.Warmup
-	gen := workload.NewGenerator(workload.Poisson{RatePerSec: qps}, opts.Sizes, opts.Seed)
-	queries := gen.Take(opts.Queries)
-	res := Run(e, cfg, queries)
-	if res.Measured == 0 || res.P95() > opts.SLA {
+	if s.stream == nil {
+		s.stream = workload.NewPoissonStream(s.opts.Sizes, s.opts.Queries, s.opts.Seed)
+		s.buf = make([]workload.Query, 0, s.opts.Queries)
+	}
+	cfg := s.cfg
+	cfg.Warmup = s.opts.Warmup
+	s.buf = s.stream.AppendQueriesAt(s.buf[:0], qps)
+	res := Run(s.e, cfg, s.buf)
+	if res.Measured == 0 || res.P95() > s.opts.SLA {
 		return res, false
 	}
-	drain := res.Duration - queries[len(queries)-1].Arrival
-	return res, drain <= 2*opts.SLA
+	drain := res.Duration - s.buf[len(s.buf)-1].Arrival
+	return res, drain <= 2*s.opts.SLA
 }
 
 // MaxQPS finds the highest Poisson arrival rate whose p95 latency meets the
@@ -106,12 +146,17 @@ func Evaluate(e Engine, cfg Config, opts SearchOpts, qps float64) (Result, bool)
 // metric. It returns 0 and a zero Result when even a trickle of load misses
 // the SLA (the configuration cannot serve this model at this target at all —
 // e.g. a batch size whose single-request service time exceeds the SLA).
+//
+// Every probe of the search replays one pre-generated stream shape, which
+// is bit-identical to regenerating the seeded stream per probe (see
+// workload.PoissonStream) at a fraction of the cost.
 func MaxQPS(e Engine, cfg Config, opts SearchOpts) (float64, Result) {
 	if opts.Queries <= opts.Warmup {
 		panic("serving: SearchOpts.Queries must exceed Warmup")
 	}
+	search := newCapacitySearch(e, cfg, opts)
 	lo := 1.0
-	res, ok := Evaluate(e, cfg, opts, lo)
+	res, ok := search.evaluate(lo)
 	if !ok {
 		return 0, Result{}
 	}
@@ -120,7 +165,7 @@ func MaxQPS(e Engine, cfg Config, opts SearchOpts) (float64, Result) {
 	// Exponential probe for an infeasible upper bound.
 	hi := 2.0
 	for hi <= opts.MaxQPS {
-		r, ok := Evaluate(e, cfg, opts, hi)
+		r, ok := search.evaluate(hi)
 		if !ok {
 			break
 		}
@@ -134,7 +179,7 @@ func MaxQPS(e Engine, cfg Config, opts SearchOpts) (float64, Result) {
 	// Bisect to tolerance.
 	for hi/lo-1 > opts.RelTol {
 		mid := (lo + hi) / 2
-		if r, ok := Evaluate(e, cfg, opts, mid); ok {
+		if r, ok := search.evaluate(mid); ok {
 			lo, bestRes = mid, r
 		} else {
 			hi = mid

@@ -1,0 +1,101 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// referenceMaxQPS mirrors MaxQPS's search loop but regenerates the seeded
+// query stream at every probe through the public Evaluate — the behaviour
+// the shared-stream fast path must reproduce exactly.
+func referenceMaxQPS(e Engine, cfg Config, opts SearchOpts) (float64, Result) {
+	lo := 1.0
+	res, ok := Evaluate(e, cfg, opts, lo)
+	if !ok {
+		return 0, Result{}
+	}
+	bestRes := res
+	hi := 2.0
+	for hi <= opts.MaxQPS {
+		r, ok := Evaluate(e, cfg, opts, hi)
+		if !ok {
+			break
+		}
+		lo, bestRes = hi, r
+		hi *= 2
+	}
+	if hi > opts.MaxQPS {
+		return lo, bestRes
+	}
+	for hi/lo-1 > opts.RelTol {
+		mid := (lo + hi) / 2
+		if r, ok := Evaluate(e, cfg, opts, mid); ok {
+			lo, bestRes = mid, r
+		} else {
+			hi = mid
+		}
+	}
+	return lo, bestRes
+}
+
+// TestMaxQPSSharedStreamMatchesPerProbeRegeneration asserts the tentpole
+// invariant of the capacity-search optimization: generating the query
+// stream once per search and rescaling it per probe yields exactly the
+// result of regenerating the stream at every probe.
+func TestMaxQPSSharedStreamMatchesPerProbeRegeneration(t *testing.T) {
+	cfg, err := model.ByName("DLRM-RMC1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		engine Engine
+		config Config
+		sizes  workload.SizeDist
+		sla    time.Duration
+	}{
+		{
+			name:   "platform-production",
+			engine: NewPlatformEngine(platform.Skylake(), nil, cfg),
+			config: Config{BatchSize: 256},
+			sizes:  workload.DefaultProduction(),
+			sla:    cfg.SLAMedium,
+		},
+		{
+			name:   "platform-gpu-threshold",
+			engine: NewPlatformEngine(platform.Skylake(), platform.DefaultGPU(), cfg),
+			config: Config{BatchSize: 128, GPUThreshold: 256},
+			sizes:  workload.DefaultProduction(),
+			sla:    cfg.SLAMedium,
+		},
+		{
+			name:   "fake-fixed-sizes",
+			engine: &fakeEngine{cores: 4, perItem: 200 * time.Microsecond},
+			config: Config{BatchSize: 10},
+			sizes:  workload.Fixed{Size: 20},
+			sla:    25 * time.Millisecond,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := DefaultSearchOpts(tc.sizes, tc.sla)
+			opts.Queries = 500
+			opts.Warmup = 80
+			opts.RelTol = 0.05
+			gotQPS, gotRes := MaxQPS(tc.engine, tc.config, opts)
+			wantQPS, wantRes := referenceMaxQPS(tc.engine, tc.config, opts)
+			if gotQPS != wantQPS {
+				t.Fatalf("MaxQPS = %v, per-probe regeneration = %v", gotQPS, wantQPS)
+			}
+			if gotRes.Latency != wantRes.Latency || gotRes.Measured != wantRes.Measured ||
+				gotRes.Duration != wantRes.Duration || gotRes.CPUUtil != wantRes.CPUUtil ||
+				gotRes.GPUUtil != wantRes.GPUUtil || gotRes.GPUWorkShare != wantRes.GPUWorkShare {
+				t.Errorf("results diverge:\n got %+v\nwant %+v", gotRes, wantRes)
+			}
+		})
+	}
+}

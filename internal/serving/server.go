@@ -3,6 +3,7 @@ package serving
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/deeprecinfra/deeprecsys/internal/sim"
@@ -105,21 +106,57 @@ type cpuRunning struct {
 	remaining float64 // unit work remaining, starts at 1
 }
 
-// server is the single-node serving simulation state.
+// server is the single-node serving simulation state. Servers are pooled
+// and reused across Run calls: every capacity search performs dozens of
+// runs of a few thousand queries each, and recycling the event heap, the
+// queue/running backing arrays, the query slab, and the service-time cache
+// keeps the hot path allocation-free.
 type server struct {
 	sim    *sim.Sim
 	cfg    Config
 	engine Engine
 	cores  int
 
-	queue      []request // FIFO central dispatch queue
-	running    []*cpuRunning
+	// Arrival feeding: instead of pre-scheduling one event per query, the
+	// stream is chained — each arrival schedules the next — keeping the
+	// event heap small (O(active cores), not O(queries)).
+	queries []workload.Query
+	fed     int
+	feedFn  func()
+
+	queue   []request // FIFO central dispatch queue; qHead is its pop cursor
+	qHead   int
+	running []cpuRunning
+
 	lastUpdate time.Duration
-	complVer   int64
 	coreBusy   float64 // core-seconds of busy time
-	timeMemo   map[[2]int]float64
+
+	// timeCache memoizes Engine.CPURequest as a dense [active][batch]
+	// matrix (flattened, active-major; 0 = unfilled). Batch is bounded by
+	// Config.BatchSize and active by the core count, so a slice lookup
+	// replaces the map probe the processor-sharing loop used to pay per
+	// running request per event.
+	timeCache   []float64
+	batchStride int
+
+	// Completion arming. A single pre-bound event closure is scheduled for
+	// the soonest-finishing request; armedFire identifies the live event
+	// (stale heap entries fail the time check). runningDirty marks that
+	// membership of the running set changed since the last arming — while
+	// it is clean the armed event is still exact, because progress rates
+	// only change when the active-core count does, so saturated-queue
+	// arrivals skip both the rescan and the event churn.
+	armed        bool
+	armedFire    time.Duration
+	runningDirty bool
+	completeFn   func()
+
+	// querySlab backs one query object per stream entry, replacing a heap
+	// allocation per arrival.
+	querySlab []query
 
 	gpuQueue    []*query
+	gqHead      int
 	gpuInFlight int
 	gpuStreams  int
 	gpuTotal    time.Duration
@@ -133,6 +170,11 @@ type server struct {
 	lastFinish time.Duration
 }
 
+// serverPool recycles server state across runs. Run is single-threaded per
+// server; the pool only makes concurrent runs (parallel sweeps) share spare
+// instances safely.
+var serverPool = sync.Pool{New: func() interface{} { return new(server) }}
+
 // Run executes the serving simulation over a pre-generated query stream and
 // returns the measured tail-latency and utilization summary. The stream
 // must be in arrival order (as produced by workload.Generator).
@@ -143,20 +185,9 @@ func Run(e Engine, cfg Config, queries []workload.Query) Result {
 	if len(queries) == 0 {
 		panic("serving: empty query stream")
 	}
-	s := &server{
-		sim:        sim.New(),
-		cfg:        cfg,
-		engine:     e,
-		cores:      e.Cores(),
-		gpuStreams: e.GPUStreams(),
-		timeMemo:   make(map[[2]int]float64),
-		latencies:  stats.NewRecorder(len(queries)),
-	}
-	for i, wq := range queries {
-		wq := wq
-		measured := i >= cfg.Warmup
-		s.sim.At(wq.Arrival, func() { s.arrive(wq, measured) })
-	}
+	s := serverPool.Get().(*server)
+	s.reset(e, cfg, queries)
+	s.sim.At(queries[0].Arrival, s.feedFn)
 	s.sim.Run()
 
 	res := Result{
@@ -178,7 +209,85 @@ func Run(e Engine, cfg Config, queries []workload.Query) Result {
 	if items := s.gpuItems + s.cpuItems; items > 0 {
 		res.GPUWorkShare = float64(s.gpuItems) / float64(items)
 	}
+	s.releaseToPool()
 	return res
+}
+
+// reset prepares a pooled server for one run, reusing backing storage.
+func (s *server) reset(e Engine, cfg Config, queries []workload.Query) {
+	if s.sim == nil {
+		s.sim = sim.New()
+	} else {
+		s.sim.Reset()
+	}
+	if s.feedFn == nil {
+		s.feedFn = s.feed
+		s.completeFn = s.completeCPU
+	}
+	s.cfg = cfg
+	s.engine = e
+	s.cores = e.Cores()
+	s.gpuStreams = e.GPUStreams()
+
+	s.queries = queries
+	s.fed = 0
+
+	s.queue = s.queue[:0]
+	s.qHead = 0
+	s.running = s.running[:0]
+	s.lastUpdate = 0
+	s.coreBusy = 0
+
+	s.batchStride = cfg.BatchSize + 1
+	need := (s.cores + 1) * s.batchStride
+	if cap(s.timeCache) < need {
+		s.timeCache = make([]float64, need)
+	} else {
+		s.timeCache = s.timeCache[:need]
+		clear(s.timeCache)
+	}
+
+	s.armed = false
+	s.armedFire = 0
+	s.runningDirty = false
+
+	if cap(s.querySlab) < len(queries) {
+		s.querySlab = make([]query, len(queries))
+	} else {
+		s.querySlab = s.querySlab[:len(queries)]
+	}
+
+	s.gpuQueue = s.gpuQueue[:0]
+	s.gqHead = 0
+	s.gpuInFlight = 0
+	s.gpuTotal = 0
+
+	s.latencies = stats.NewRecorder(len(queries)) // escapes via Result
+	s.measured = 0
+	s.cpuItems, s.gpuItems = 0, 0
+	s.gpuQueries, s.cpuQueries = 0, 0
+	s.lastFinish = 0
+}
+
+// releaseToPool drops references the pool must not retain and returns the
+// server for reuse. The recorder is not recycled: its samples alias the
+// returned Result.
+func (s *server) releaseToPool() {
+	s.engine = nil
+	s.queries = nil
+	s.latencies = nil
+	serverPool.Put(s)
+}
+
+// feed admits the next query of the stream and schedules the following
+// arrival. Chaining keeps only one pending arrival event at a time.
+func (s *server) feed() {
+	i := s.fed
+	s.fed++
+	if s.fed < len(s.queries) {
+		s.sim.At(s.queries[s.fed].Arrival, s.feedFn)
+	}
+	s.arrive(i, s.queries[i], i >= s.cfg.Warmup)
 }
 
 // serviceTime returns the memoized full-service time (seconds) of a request
@@ -186,15 +295,15 @@ func Run(e Engine, cfg Config, queries []workload.Query) Result {
 // updates cheap and, for the real-execution engine, avoids re-running the
 // model on every progress update.
 func (s *server) serviceTime(batch, active int) float64 {
-	key := [2]int{batch, active}
-	if t, ok := s.timeMemo[key]; ok {
+	idx := active*s.batchStride + batch
+	if t := s.timeCache[idx]; t != 0 {
 		return t
 	}
 	t := s.engine.CPURequest(batch, active).Seconds()
 	if t <= 0 {
 		t = 1e-12 // keep progress rates finite for degenerate engines
 	}
-	s.timeMemo[key] = t
+	s.timeCache[idx] = t
 	return t
 }
 
@@ -210,38 +319,47 @@ func (s *server) updateProgress() {
 	}
 	active := len(s.running)
 	s.coreBusy += dt * float64(active)
-	for _, r := range s.running {
+	for i := range s.running {
+		r := &s.running[i]
 		r.remaining -= dt / s.serviceTime(r.req.batch, active)
 	}
 }
 
 // scheduleNextCompletion arms a completion event for the soonest-finishing
-// running request under the current active-core count. Any state change
-// bumps complVer, invalidating previously armed events.
+// running request under the current active-core count. While the running
+// set's membership is unchanged the previously armed event is still exact —
+// progress rates only change with the active-core count — so the rescan and
+// the event push are skipped entirely (the saturated-arrival fast path).
 func (s *server) scheduleNextCompletion() {
-	s.complVer++
+	if s.armed && !s.runningDirty {
+		return
+	}
+	s.runningDirty = false
+	s.armed = false
 	if len(s.running) == 0 {
 		return
 	}
 	active := len(s.running)
 	soonest := math.Inf(1)
-	for _, r := range s.running {
-		t := r.remaining * s.serviceTime(r.req.batch, active)
-		if t < soonest {
+	for i := range s.running {
+		r := &s.running[i]
+		if t := r.remaining * s.serviceTime(r.req.batch, active); t < soonest {
 			soonest = t
 		}
 	}
 	if soonest < 0 {
 		soonest = 0
 	}
-	ver := s.complVer
-	s.sim.After(time.Duration(soonest*float64(time.Second))+1, func() { s.completeCPU(ver) })
+	s.armed = true
+	s.armedFire = s.sim.Now() + time.Duration(soonest*float64(time.Second)) + 1
+	s.sim.At(s.armedFire, s.completeFn)
 }
 
 // arrive admits one query: offload whole to the accelerator above the
 // threshold, otherwise split into batch-sized requests for the core pool.
-func (s *server) arrive(wq workload.Query, measured bool) {
-	q := &query{arrival: s.sim.Now(), size: wq.Size, measured: measured}
+func (s *server) arrive(idx int, wq workload.Query, measured bool) {
+	q := &s.querySlab[idx]
+	*q = query{arrival: s.sim.Now(), size: wq.Size, measured: measured}
 	if s.cfg.GPUThreshold > 0 && wq.Size >= s.cfg.GPUThreshold {
 		s.gpuQueries++
 		s.gpuItems += int64(wq.Size)
@@ -269,23 +387,32 @@ func (s *server) arrive(wq workload.Query, measured bool) {
 // dispatch moves queued requests onto idle cores. Callers must have called
 // updateProgress first and must re-arm the completion event afterwards.
 func (s *server) dispatch() {
-	for len(s.running) < s.cores && len(s.queue) > 0 {
-		req := s.queue[0]
-		s.queue = s.queue[1:]
-		s.running = append(s.running, &cpuRunning{req: req, remaining: 1})
+	for len(s.running) < s.cores && s.qHead < len(s.queue) {
+		s.running = append(s.running, cpuRunning{req: s.queue[s.qHead], remaining: 1})
+		s.qHead++
+		s.runningDirty = true
+	}
+	if s.qHead == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.qHead = 0
 	}
 }
 
 // completeCPU retires every finished request, refills cores from the queue,
-// and re-arms the completion event.
-func (s *server) completeCPU(ver int64) {
-	if ver != s.complVer {
+// and re-arms the completion event. Stale heap entries — armed before a
+// later membership change — fail the armedFire identity check and fall
+// through.
+func (s *server) completeCPU() {
+	if !s.armed || s.sim.Now() != s.armedFire {
 		return // superseded by a later state change
 	}
+	s.armed = false
+	s.runningDirty = true
 	s.updateProgress()
 	const eps = 1e-9
 	kept := s.running[:0]
-	for _, r := range s.running {
+	for i := range s.running {
+		r := s.running[i]
 		if r.remaining <= eps {
 			r.req.q.remaining--
 			if r.req.q.remaining == 0 {
@@ -303,9 +430,9 @@ func (s *server) completeCPU(ver int64) {
 // kickGPU starts the accelerator on queued queries while stream slots are
 // free. Each in-flight query occupies one stream for its full service time.
 func (s *server) kickGPU() {
-	for s.gpuInFlight < s.gpuStreams && len(s.gpuQueue) > 0 {
-		q := s.gpuQueue[0]
-		s.gpuQueue = s.gpuQueue[1:]
+	for s.gpuInFlight < s.gpuStreams && s.gqHead < len(s.gpuQueue) {
+		q := s.gpuQueue[s.gqHead]
+		s.gqHead++
 		s.gpuInFlight++
 		service := s.engine.GPUQuery(q.size)
 		s.gpuTotal += service
@@ -314,6 +441,10 @@ func (s *server) kickGPU() {
 			s.finish(q)
 			s.kickGPU()
 		})
+	}
+	if s.gqHead == len(s.gpuQueue) {
+		s.gpuQueue = s.gpuQueue[:0]
+		s.gqHead = 0
 	}
 }
 

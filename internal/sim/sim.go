@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -18,39 +17,41 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e fires ahead of o: ordered by (at, seq).
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Sim is a single-threaded discrete-event simulation. The zero value is not
 // usable; create one with New.
+//
+// The event queue is a hand-rolled binary min-heap over a value slice rather
+// than container/heap: the serving hot path schedules and pops millions of
+// events per capacity search, and container/heap's interface{} boxing costs
+// one allocation per push.
 type Sim struct {
-	now    time.Duration
-	queue  eventHeap
-	seq    int64
-	fired  int64
-	maxAge time.Duration
+	now   time.Duration
+	queue []event // binary min-heap ordered by event.before
+	seq   int64
+	fired int64
 }
 
 // New returns an empty simulation with the clock at zero.
 func New() *Sim {
 	return &Sim{}
+}
+
+// Reset returns the simulation to its initial state — clock at zero, no
+// pending events — retaining the event queue's backing storage. It lets a
+// pooled server reuse one Sim across runs without reallocating the heap.
+func (s *Sim) Reset() {
+	s.now = 0
+	s.queue = s.queue[:0]
+	s.seq = 0
+	s.fired = 0
 }
 
 // Now returns the current virtual time.
@@ -67,7 +68,8 @@ func (s *Sim) At(t time.Duration, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, event{at: t, seq: s.seq, fn: fn})
+	s.queue = append(s.queue, event{at: t, seq: s.seq, fn: fn})
+	s.siftUp(len(s.queue) - 1)
 }
 
 // After schedules fn d after the current virtual time.
@@ -98,10 +100,54 @@ func (s *Sim) RunUntil(t time.Duration) {
 
 // step pops and executes the earliest event.
 func (s *Sim) step() {
-	e := heap.Pop(&s.queue).(event)
+	e := s.queue[0]
+	last := len(s.queue) - 1
+	s.queue[0] = s.queue[last]
+	s.queue[last] = event{} // release the callback reference
+	s.queue = s.queue[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
 	s.now = e.at
 	s.fired++
 	e.fn()
+}
+
+// siftUp restores the heap property from leaf i toward the root.
+func (s *Sim) siftUp(i int) {
+	q := s.queue
+	e := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.before(q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = e
+}
+
+// siftDown restores the heap property from node i toward the leaves.
+func (s *Sim) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	e := q[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if right := child + 1; right < n && q[right].before(q[child]) {
+			child = right
+		}
+		if !q[child].before(e) {
+			break
+		}
+		q[i] = q[child]
+		i = child
+	}
+	q[i] = e
 }
 
 // Pending returns the number of scheduled-but-unfired events.

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// PoissonStream is a pre-generated Poisson query-stream *shape*: the query
+// sizes and the unit-rate exponential inter-arrival draws of one seeded
+// stream, independent of the arrival rate. Realizing the stream at a rate
+// only scales the gaps, so a capacity search can generate the random draws
+// once and replay them at every probed rate instead of re-sampling the
+// identical workload per evaluation.
+//
+// QueriesAt reproduces NewGenerator(Poisson{rate}, sizes, seed).Take(n)
+// bit-for-bit for every rate: the generator draws (size, gap) pairs in
+// order, and a Poisson gap is an ExpFloat64 draw divided by the rate.
+type PoissonStream struct {
+	sizes []int
+	exps  []float64 // unit-rate exponential inter-arrival draws
+}
+
+// NewPoissonStream draws the sizes and unit-rate gaps of an n-query stream
+// with the given size distribution and seed.
+func NewPoissonStream(sizes SizeDist, n int, seed int64) *PoissonStream {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: PoissonStream needs at least one query, got %d", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &PoissonStream{sizes: make([]int, n), exps: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s.sizes[i] = sizes.Sample(rng)
+		s.exps[i] = rng.ExpFloat64()
+	}
+	return s
+}
+
+// Len returns the number of queries in the stream.
+func (s *PoissonStream) Len() int { return len(s.sizes) }
+
+// AppendQueriesAt appends the stream realized at the given arrival rate to
+// dst and returns the extended slice. Passing a reused buffer (dst[:0])
+// makes repeated probes of one capacity search allocation-free.
+func (s *PoissonStream) AppendQueriesAt(dst []Query, ratePerSec float64) []Query {
+	if ratePerSec <= 0 {
+		panic(fmt.Sprintf("workload: Poisson rate must be positive, got %v", ratePerSec))
+	}
+	var arrival time.Duration
+	for i, size := range s.sizes {
+		// Same arithmetic as Poisson.NextGap: truncate each scaled gap to a
+		// Duration, then accumulate — bit-identical to the generator.
+		arrival += time.Duration(s.exps[i] / ratePerSec * float64(time.Second))
+		dst = append(dst, Query{ID: i, Size: size, Arrival: arrival})
+	}
+	return dst
+}
+
+// QueriesAt returns the stream realized at the given arrival rate.
+func (s *PoissonStream) QueriesAt(ratePerSec float64) []Query {
+	return s.AppendQueriesAt(make([]Query, 0, len(s.sizes)), ratePerSec)
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestPoissonStreamMatchesGeneratorBitForBit(t *testing.T) {
+	const n = 500
+	const seed = 42
+	dist := DefaultProduction()
+	stream := NewPoissonStream(dist, n, seed)
+	for _, rate := range []float64{3, 47.5, 800, 123456} {
+		got := stream.QueriesAt(rate)
+		want := NewGenerator(Poisson{RatePerSec: rate}, dist, seed).Take(n)
+		if len(got) != len(want) {
+			t.Fatalf("rate %v: %d queries, want %d", rate, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rate %v: query %d = %+v, want %+v", rate, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPoissonStreamAppendReusesBuffer(t *testing.T) {
+	stream := NewPoissonStream(Fixed{Size: 10}, 100, 7)
+	buf := make([]Query, 0, 100)
+	first := stream.AppendQueriesAt(buf, 50)
+	slowSpan := first[99].Arrival
+	second := stream.AppendQueriesAt(first[:0], 100)
+	if &first[0] != &second[0] {
+		t.Error("AppendQueriesAt reallocated despite sufficient capacity")
+	}
+	// Doubling the rate must compress arrival spans.
+	if fastSpan := second[99].Arrival; fastSpan >= slowSpan {
+		t.Errorf("arrivals did not compress with rate: %v vs %v", fastSpan, slowSpan)
+	}
+}
+
+func TestPoissonStreamPanicsOnBadInputs(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("zero-length stream", func() { NewPoissonStream(Fixed{Size: 1}, 0, 1) })
+	assertPanics("non-positive rate", func() {
+		NewPoissonStream(Fixed{Size: 1}, 10, 1).QueriesAt(0)
+	})
+}
