@@ -1,0 +1,248 @@
+package deeprecsys_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	deeprecsys "github.com/deeprecinfra/deeprecsys"
+)
+
+func TestParseWorkload(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"production", "production@poisson"},
+		{"production@uniform", "production@uniform"},
+		{"fixed:100", "fixed(100)@poisson"},
+		{"lognormal:4.0,0.9@poisson", "lognormal(4.00,0.90)@poisson"},
+	}
+	for _, c := range cases {
+		w, err := deeprecsys.ParseWorkload(c.spec)
+		if err != nil {
+			t.Fatalf("ParseWorkload(%q): %v", c.spec, err)
+		}
+		if w.Name() != c.want {
+			t.Errorf("ParseWorkload(%q).Name() = %q, want %q", c.spec, w.Name(), c.want)
+		}
+		if w.IsTrace() {
+			t.Errorf("ParseWorkload(%q) claims to be a trace", c.spec)
+		}
+	}
+	for _, spec := range []string{"", "zipf", "fixed:0", "production@burst", "fixed:10@"} {
+		if _, err := deeprecsys.ParseWorkload(spec); err == nil {
+			t.Errorf("ParseWorkload(%q) accepted", spec)
+		}
+	}
+}
+
+func TestDefaultWorkloadIsProduction(t *testing.T) {
+	if got := deeprecsys.DefaultWorkload().Name(); got != "production@poisson" {
+		t.Errorf("DefaultWorkload = %q", got)
+	}
+	var zero deeprecsys.Workload
+	if got := zero.Name(); got != "production@poisson" {
+		t.Errorf("zero Workload = %q", got)
+	}
+}
+
+func TestTraceWorkload(t *testing.T) {
+	csv := "arrival_sec,size\n0.001,50\n0.002,200\n0.003,50\n"
+	w, err := deeprecsys.TraceWorkload(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.IsTrace() || w.TraceLen() != 3 {
+		t.Errorf("trace workload = %q, len %d", w.Name(), w.TraceLen())
+	}
+	if !strings.HasPrefix(w.Name(), "empirical") {
+		t.Errorf("trace workload name = %q", w.Name())
+	}
+	if _, err := deeprecsys.TraceWorkload(strings.NewReader("bogus")); err == nil {
+		t.Error("bogus trace accepted")
+	}
+}
+
+// TestWithWorkloadChangesCapacity pins that the workload option actually
+// reaches the capacity search: a fixed tiny query size must sustain far
+// more load than the heavy-tailed production distribution.
+func TestWithWorkloadChangesCapacity(t *testing.T) {
+	light, err := deeprecsys.ParseWorkload("fixed:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(opts ...deeprecsys.Option) deeprecsys.Decision {
+		opts = append(opts, deeprecsys.WithSearchFidelity(400, 0.1))
+		sys, err := deeprecsys.NewSystem("NCF", "skylake", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sys.Capacity(16, 0, sys.SLA())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	prod := mk()
+	fixed := mk(deeprecsys.WithWorkload(light))
+	if fixed.QPS <= prod.QPS {
+		t.Errorf("fixed:10 capacity %.0f <= production %.0f", fixed.QPS, prod.QPS)
+	}
+}
+
+// TestUniformArrivalsReachSearch pins that a workload's arrival process is
+// honored end to end: for the heavy-tailed production distribution at a
+// tail-bound operating point the measured p95 — and hence the searched
+// capacity — must differ between Poisson and uniform arrivals (at 800 QPS
+// the two differ by >20% at the serving layer, far beyond the 2% search
+// tolerance).
+func TestUniformArrivalsReachSearch(t *testing.T) {
+	mk := func(spec string) deeprecsys.Decision {
+		w, err := deeprecsys.ParseWorkload(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := deeprecsys.NewSystem("DLRM-RMC1", "skylake",
+			deeprecsys.WithWorkload(w), deeprecsys.WithSearchFidelity(600, 0.02))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sys.Capacity(256, 0, sys.SLA())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	poisson := mk("production@poisson")
+	uniform := mk("production@uniform")
+	if poisson.QPS == uniform.QPS && poisson.P95 == uniform.P95 {
+		t.Errorf("arrival process ignored by the search: both give %.0f QPS / p95 %v",
+			poisson.QPS, poisson.P95)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := deeprecsys.NewSystem("NCF", "skylake", deeprecsys.WithSearchFidelity(0, 0.05)); err == nil {
+		t.Error("zero queries accepted")
+	}
+	if _, err := deeprecsys.NewSystem("NCF", "skylake", deeprecsys.WithSearchFidelity(100, 0)); err == nil {
+		t.Error("zero relTol accepted")
+	}
+	if _, err := deeprecsys.NewSystem("NCF", "skylake", deeprecsys.WithSearchFidelity(100, -1)); err == nil {
+		t.Error("negative relTol accepted")
+	}
+	if _, err := deeprecsys.NewSystem("NCF", "skylake", deeprecsys.WithEngine(deeprecsys.EngineKind(99))); err == nil {
+		t.Error("unknown engine kind accepted")
+	}
+}
+
+func TestRealExecutionEngineCapability(t *testing.T) {
+	// RealExecution + GPU is unsatisfiable and must fail at construction.
+	if _, err := deeprecsys.NewSystem("NCF", "skylake",
+		deeprecsys.WithEngine(deeprecsys.RealExecution), deeprecsys.WithGPU()); err == nil {
+		t.Error("RealExecution with GPU accepted")
+	}
+	// A fixed query size keeps the set of distinct (batch, active) pairs —
+	// each priced by a genuine timed forward pass — small enough for CI.
+	fixed, err := deeprecsys.ParseWorkload("fixed:64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := deeprecsys.NewSystem("NCF", "skylake",
+		deeprecsys.WithEngine(deeprecsys.RealExecution),
+		deeprecsys.WithWorkload(fixed),
+		deeprecsys.WithSearchFidelity(300, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Engine() != deeprecsys.RealExecution {
+		t.Errorf("Engine() = %v", sys.Engine())
+	}
+	if got := sys.Engine().String(); got != "real-execution" {
+		t.Errorf("String() = %q", got)
+	}
+	// The real-execution engine measures genuine host timings; just check
+	// an explicit configuration produces a positive capacity.
+	d, err := sys.Capacity(64, 0, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.QPS <= 0 {
+		t.Errorf("real-execution capacity = %v", d.QPS)
+	}
+}
+
+// TestRecommendReusesModel pins the satellite fix: repeated Recommend calls
+// share one model instance, so identical seeds give identical rankings and
+// the second call does not pay table construction again.
+func TestRecommendReusesModel(t *testing.T) {
+	sys, err := deeprecsys.NewSystem("NCF", "skylake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Recommend(50, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Recommend(50, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("repeated Recommend diverged: %v vs %v", a[i], b[i])
+		}
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	sys, err := deeprecsys.NewSystem("NCF", "skylake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := sys.Serve(deeprecsys.ServeOptions{Workers: 2, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				reply, err := svc.Submit(context.Background(), 40, 3)
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				if len(reply.Recs) != 3 || reply.Latency <= 0 {
+					t.Errorf("reply = %+v", reply)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := svc.Stats()
+	if st.Model != "NCF" || st.Completed != 20 || st.WindowLen != 20 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SLA != sys.SLA() {
+		t.Errorf("service SLA %v != model SLA %v", st.SLA, sys.SLA())
+	}
+	if st.P95 <= 0 {
+		t.Error("no online p95")
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(context.Background(), 4, 1); !errors.Is(err, deeprecsys.ErrServiceClosed) {
+		t.Errorf("post-Close Submit = %v", err)
+	}
+}

@@ -1,5 +1,6 @@
 // Command deeprecsys regenerates the paper's evaluation artifacts (tables
-// and figures) from the reimplemented system and prints them as text tables.
+// and figures) from the reimplemented system and prints them as text
+// tables, and hosts the live serving demo.
 //
 // Usage:
 //
@@ -7,9 +8,14 @@
 //	deeprecsys [-full] [-models DLRM-RMC1,DIEN] fig11 fig13 ...
 //	deeprecsys -full all
 //
+//	deeprecsys serve -model NCF -rate 300 -n 2000 -autotune
+//	loadgen -rate 200 -n 500 | deeprecsys serve -model NCF -trace - -topn 5
+//
 // By default experiments run at quick fidelity; -full uses the fidelity
 // recorded in EXPERIMENTS.md (slower: the headline fig11 sweep tunes three
-// schedulers for eight models at three SLA targets).
+// schedulers for eight models at three SLA targets). The serve subcommand
+// starts a live concurrent Service executing real forward passes and
+// reports the online p95 against the model's SLA (see -help on serve).
 package main
 
 import (
@@ -22,6 +28,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	list := flag.Bool("list", false, "list available artifacts and exit")
 	full := flag.Bool("full", false, "run at full (recorded) fidelity instead of quick")
 	models := flag.String("models", "", "comma-separated model filter for sweep experiments")

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	deeprecsys "github.com/deeprecinfra/deeprecsys"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// serveMain runs the live serving demo: it starts a concurrent Service for
+// one zoo model and drives it with a query stream — a recorded loadgen CSV
+// trace replayed in (scaled) real time, or a stream generated from the
+// shared workload spec grammar — submitting each query from its own
+// goroutine and reporting the online p95 against the model's SLA.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	modelName := fs.String("model", "NCF", "zoo model to serve")
+	workers := fs.Int("workers", 0, "CPU worker-pool size (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 256, "initial per-request batch size")
+	sla := fs.Duration("sla", 0, "p95 target (0 = the model's published SLA)")
+	autotune := fs.Bool("autotune", false, "retune the batch size online against the measured p95")
+	topn := fs.Int("topn", 0, "ranked items to return per query (0 = latency only)")
+	tracePath := fs.String("trace", "", "replay a loadgen CSV trace ('-' = stdin)")
+	wl := fs.String("workload", "production", "workload spec to generate the drive stream (ignored with -trace)")
+	arrivals := fs.String("arrivals", "poisson", "arrival process for -workload: poisson or uniform")
+	rate := fs.Float64("rate", 50, "offered arrival rate in queries/sec for -workload")
+	n := fs.Int("n", 500, "number of queries for -workload")
+	speed := fs.Float64("speed", 1, "time-scale factor: 2 replays arrivals twice as fast")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	if *speed <= 0 {
+		fmt.Fprintln(os.Stderr, "serve: -speed must be positive")
+		os.Exit(2)
+	}
+
+	queries, err := driveStream(*tracePath, *wl, *arrivals, *rate, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sys, err := deeprecsys.NewSystem(*modelName, "skylake", deeprecsys.WithSeed(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	svc, err := sys.Serve(deeprecsys.ServeOptions{
+		Workers:   *workers,
+		BatchSize: *batch,
+		SLA:       *sla,
+		AutoTune:  *autotune,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	st := svc.Stats()
+	fmt.Printf("serving %s live: %d queries, batch %d, p95 target %v\n",
+		*modelName, len(queries), svc.BatchSize(), st.SLA)
+
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	progress := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ticker.C:
+				s := svc.Stats()
+				fmt.Printf("  %6d done  batch %4d  online p50 %-12v p95 %v\n",
+					s.Completed, s.BatchSize, s.P50.Round(10*time.Microsecond), s.P95.Round(10*time.Microsecond))
+			case <-progress:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var failed atomic.Uint64
+	start := time.Now()
+drive:
+	for _, q := range queries {
+		due := time.Duration(float64(q.Arrival) / *speed)
+		if wait := due - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				break drive
+			}
+		}
+		wg.Add(1)
+		go func(size int) {
+			defer wg.Done()
+			if _, err := svc.Submit(ctx, size, *topn); err != nil && ctx.Err() == nil {
+				failed.Add(1)
+			}
+		}(q.Size)
+	}
+	wg.Wait()
+	close(progress)
+	elapsed := time.Since(start)
+
+	final := svc.Stats()
+	if err := svc.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	offered := "n/a"
+	if span := queries[len(queries)-1].Arrival.Seconds() / *speed; span > 0 {
+		offered = fmt.Sprintf("%.1f", float64(len(queries))/span)
+	}
+	fmt.Printf("served %d/%d queries in %v (%s QPS offered, %.1f achieved)\n",
+		final.Completed, len(queries), elapsed.Round(time.Millisecond),
+		offered, float64(final.Completed)/elapsed.Seconds())
+	fmt.Printf("online latency: p50 %v  p95 %v  (window of last %d)\n",
+		final.P50.Round(10*time.Microsecond), final.P95.Round(10*time.Microsecond), final.WindowLen)
+	if final.Cancelled > 0 || failed.Load() > 0 {
+		fmt.Printf("cancelled/failed: %d\n", final.Cancelled+failed.Load())
+	}
+	if *autotune {
+		fmt.Printf("autotune: batch ended at %d after %d retunes\n", final.BatchSize, final.Retunes)
+	}
+	if final.MeetsSLA() {
+		fmt.Printf("meets the %v p95 SLA\n", final.SLA)
+	} else {
+		fmt.Printf("VIOLATES the %v p95 SLA\n", final.SLA)
+	}
+}
+
+// driveStream loads or generates the query stream that drives the service.
+func driveStream(tracePath, wl, arrivals string, rate float64, n int, seed int64) ([]workload.Query, error) {
+	if tracePath != "" {
+		r := os.Stdin
+		if tracePath != "-" {
+			f, err := os.Open(tracePath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			r = f
+		}
+		return workload.ReadTrace(r)
+	}
+	return workload.GenerateSpec(wl, arrivals, rate, n, seed)
+}

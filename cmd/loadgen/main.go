@@ -1,20 +1,24 @@
 // Command loadgen emits a recommendation query trace as CSV: arrival time
 // (seconds), query size (candidate items). It is DeepRecInfra's load
 // generator exposed as a standalone tool, useful for driving external
-// serving stacks with the paper's arrival and working-set-size
-// distributions.
+// serving stacks — or `deeprecsys serve` — with the paper's arrival and
+// working-set-size distributions.
+//
+// The -dist grammar is the shared workload spec format (see
+// internal/workload.ParseDist and the public deeprecsys.ParseWorkload):
+// production, lognormal[:<mu>,<sigma>], normal[:<mean>,<stddev>],
+// fixed:<n>.
 //
 // Usage:
 //
 //	loadgen -rate 1000 -n 10000 -dist production > trace.csv
-//	loadgen -rate 500 -dist lognormal -seed 7
+//	loadgen -rate 500 -dist lognormal:4.0,0.9 -seed 7
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"github.com/deeprecinfra/deeprecsys/internal/workload"
 )
@@ -22,24 +26,19 @@ import (
 func main() {
 	rate := flag.Float64("rate", 1000, "mean arrival rate in queries/sec")
 	n := flag.Int("n", 10000, "number of queries to emit")
-	dist := flag.String("dist", "production", "size distribution: production, lognormal, normal, fixed:<n>")
+	dist := flag.String("dist", "production", "size distribution spec: production, lognormal[:mu,sigma], normal[:mean,stddev], fixed:<n>")
 	arrivals := flag.String("arrivals", "poisson", "arrival process: poisson or uniform")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	sizes, err := parseDist(*dist)
+	sizes, err := workload.ParseDist(*dist)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	var proc workload.ArrivalProcess
-	switch *arrivals {
-	case "poisson":
-		proc = workload.Poisson{RatePerSec: *rate}
-	case "uniform":
-		proc = workload.Uniform{RatePerSec: *rate}
-	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown arrival process %q\n", *arrivals)
+	proc, err := workload.ParseArrivals(*arrivals, *rate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -47,24 +46,5 @@ func main() {
 	if err := workload.WriteTrace(os.Stdout, gen.Take(*n)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
-	}
-}
-
-func parseDist(s string) (workload.SizeDist, error) {
-	switch {
-	case s == "production":
-		return workload.DefaultProduction(), nil
-	case s == "lognormal":
-		return workload.DefaultLogNormal(), nil
-	case s == "normal":
-		return workload.Normal{Mean: 100, Stddev: 40}, nil
-	case strings.HasPrefix(s, "fixed:"):
-		var size int
-		if _, err := fmt.Sscanf(s, "fixed:%d", &size); err != nil || size < 1 {
-			return nil, fmt.Errorf("loadgen: bad fixed size in %q", s)
-		}
-		return workload.Fixed{Size: size}, nil
-	default:
-		return nil, fmt.Errorf("loadgen: unknown distribution %q", s)
 	}
 }

@@ -5,11 +5,16 @@
 // once, then replay it deterministically against any model, platform, batch
 // size, and offload threshold.
 //
+// Instead of a recorded trace, -workload generates the stream in-process
+// from the shared workload spec format (the same grammar loadgen's -dist
+// uses), closing the loop without an intermediate file.
+//
 // Usage:
 //
 //	loadgen -rate 800 -n 5000 > trace.csv
 //	replay -model DLRM-RMC1 -batch 512 < trace.csv
 //	replay -model DLRM-RMC1 -gpu -batch 512 -threshold 256 < trace.csv
+//	replay -model DIN -batch 128 -workload fixed:100 -rate 600 -n 5000
 package main
 
 import (
@@ -32,9 +37,20 @@ func main() {
 	threshold := flag.Int("threshold", 0, "GPU query-size threshold (0 = CPU only)")
 	withGPU := flag.Bool("gpu", false, "provision the accelerator")
 	warmup := flag.Int("warmup", 100, "leading queries excluded from statistics")
+	wl := flag.String("workload", "", "generate the stream from a workload spec (loadgen -dist grammar) instead of reading a trace from stdin")
+	arrivals := flag.String("arrivals", "poisson", "arrival process for -workload: poisson or uniform")
+	rate := flag.Float64("rate", 1000, "arrival rate in queries/sec for -workload")
+	n := flag.Int("n", 5000, "number of queries for -workload")
+	seed := flag.Int64("seed", 1, "random seed for -workload")
 	flag.Parse()
 
-	queries, err := workload.ReadTrace(os.Stdin)
+	var queries []workload.Query
+	var err error
+	if *wl != "" {
+		queries, err = workload.GenerateSpec(*wl, *arrivals, *rate, *n, *seed)
+	} else {
+		queries, err = workload.ReadTrace(os.Stdin)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,27 @@
 //     (request- vs batch-level parallelism) and the accelerator query-size
 //     threshold (offloading the heavy tail of queries).
 //
+// The API is organized around three composable surfaces:
+//
+//   - Workload — the serving scenario: query-size distribution plus arrival
+//     process. The default is the paper's production workload; ParseWorkload
+//     ("fixed:100@uniform", "lognormal:4.0,0.9", ...) and TraceWorkload
+//     (deriving an empirical distribution from a recorded cmd/loadgen CSV)
+//     build alternatives, installed per System with WithWorkload.
+//
+//   - Engine — how service times are obtained: Analytical (the calibrated
+//     platform models behind every paper artifact, GPU-capable) or
+//     RealExecution (timing actual forward passes on the host). Selected
+//     with WithEngine; impossible combinations (RealExecution + WithGPU)
+//     fail at construction.
+//
+//   - Service — a live concurrent server started with System.Serve: Submit
+//     real queries from any number of goroutines, and the service batches
+//     them across a CPU worker pool executing actual model forward passes,
+//     tracks the online p95 against the SLA, optionally retunes the batch
+//     size with a background DeepRecSched hill climb, and drains gracefully
+//     on Close.
+//
 // A System ties one recommendation model to one hardware platform:
 //
 //	sys, err := deeprecsys.NewSystem("DLRM-RMC1", "skylake", deeprecsys.WithGPU())
@@ -30,6 +51,7 @@ package deeprecsys
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"github.com/deeprecinfra/deeprecsys/internal/experiments"
@@ -37,7 +59,6 @@ import (
 	"github.com/deeprecinfra/deeprecsys/internal/platform"
 	"github.com/deeprecinfra/deeprecsys/internal/sched"
 	"github.com/deeprecinfra/deeprecsys/internal/serving"
-	"github.com/deeprecinfra/deeprecsys/internal/workload"
 )
 
 // ModelNames lists the recommendation models of the zoo (the paper's
@@ -87,7 +108,8 @@ func WithSeed(seed int64) Option {
 
 // WithSearchFidelity sets the number of queries per capacity-search
 // evaluation and the rate tolerance of the search. Larger query counts
-// tighten percentile estimates at proportional cost.
+// tighten percentile estimates at proportional cost. NewSystem rejects
+// queries < 1 and relTol <= 0.
 func WithSearchFidelity(queries int, relTol float64) Option {
 	return func(s *System) {
 		s.queries = queries
@@ -96,19 +118,33 @@ func WithSearchFidelity(queries int, relTol float64) Option {
 }
 
 // System is one recommendation service: a model from the zoo deployed on a
-// hardware platform under the production query-size distribution.
+// hardware platform under a configurable workload (the production
+// query-size distribution by default).
 type System struct {
 	cfg model.Config
 	cpu *platform.CPU
 	gpu *platform.GPU
 
+	wl         Workload
+	engineKind EngineKind
+
 	seed    int64
 	queries int
 	relTol  float64
+
+	// The instantiated model is built once and shared by Recommend, the
+	// real-execution engine, and live Services: embedding tables are the
+	// dominant construction cost, and all consumers are read-only.
+	modelOnce sync.Once
+	model     *model.Model
+	modelErr  error
 }
 
 // NewSystem builds a System for a zoo model ("DLRM-RMC1", "NCF", ...) on a
-// platform ("skylake" or "broadwell").
+// platform ("skylake" or "broadwell"). Option values are validated here:
+// an invalid fidelity, an unknown engine kind, or an unsatisfiable
+// capability combination (RealExecution with WithGPU) is a construction
+// error, not a latent panic.
 func NewSystem(modelName, platformName string, opts ...Option) (*System, error) {
 	cfg, err := model.ByName(modelName)
 	if err != nil {
@@ -127,7 +163,36 @@ func NewSystem(modelName, platformName string, opts ...Option) (*System, error) 
 	for _, o := range opts {
 		o(s)
 	}
+	if s.queries < 1 {
+		return nil, fmt.Errorf("deeprecsys: search fidelity needs at least one query, got %d", s.queries)
+	}
+	if s.relTol <= 0 {
+		return nil, fmt.Errorf("deeprecsys: search tolerance must be positive, got %v", s.relTol)
+	}
+	switch s.engineKind {
+	case Analytical:
+	case RealExecution:
+		if s.gpu != nil {
+			return nil, fmt.Errorf("deeprecsys: the real-execution engine has no accelerator; drop WithGPU or use the analytical engine")
+		}
+		// Build the model now so the engine's capability check — and any
+		// configuration error — surfaces at construction.
+		if _, err := s.modelInstance(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("deeprecsys: unknown engine kind %v", s.engineKind)
+	}
 	return s, nil
+}
+
+// modelInstance returns the system's cached executable model, building it
+// on first use.
+func (s *System) modelInstance() (*model.Model, error) {
+	s.modelOnce.Do(func() {
+		s.model, s.modelErr = model.New(s.cfg, s.seed)
+	})
+	return s.model, s.modelErr
 }
 
 // Model returns the system's model name.
@@ -142,14 +207,17 @@ func (s *System) HasGPU() bool { return s.gpu != nil }
 // SLA returns the model's published medium tail-latency target.
 func (s *System) SLA() time.Duration { return s.cfg.SLAMedium }
 
-// engine builds the serving engine for this system.
-func (s *System) engine() *serving.PlatformEngine {
-	return serving.NewPlatformEngine(s.cpu, s.gpu, s.cfg)
-}
+// Engine returns the system's engine kind.
+func (s *System) Engine() EngineKind { return s.engineKind }
 
-// searchOpts builds capacity-search options at the system's fidelity.
+// Workload returns the system's serving scenario.
+func (s *System) Workload() Workload { return s.wl }
+
+// searchOpts builds capacity-search options at the system's fidelity under
+// the system's workload.
 func (s *System) searchOpts(sla time.Duration) serving.SearchOpts {
-	opts := serving.DefaultSearchOpts(workload.DefaultProduction(), sla)
+	opts := serving.DefaultSearchOpts(s.wl.sizeDist(), sla)
+	opts.Arrivals = s.wl.arrivalName()
 	opts.Seed = s.seed
 	opts.Queries = s.queries
 	opts.RelTol = s.relTol
@@ -239,7 +307,7 @@ func (s *System) Recommend(candidates, n int, seed int64) ([]Recommendation, err
 	if candidates < 1 {
 		return nil, fmt.Errorf("deeprecsys: need at least one candidate, got %d", candidates)
 	}
-	m, err := model.New(s.cfg, s.seed)
+	m, err := s.modelInstance()
 	if err != nil {
 		return nil, err
 	}

@@ -1,19 +1,26 @@
-// Quickstart: load a recommendation model from the zoo, serve a real query
-// end to end (embeddings → feature interaction → predictor → ranking), then
-// let DeepRecSched tune the serving configuration for the model's published
-// tail-latency target.
+// Quickstart: the three surfaces of the deeprecsys API.
+//
+//  1. Workload — run the tuner under any serving scenario, not just the
+//     paper's production distribution (ParseWorkload + WithWorkload).
+//  2. Engine — analytical platform models by default; WithEngine selects
+//     real-execution timing, validated at construction.
+//  3. Service — a live concurrent server: real forward passes, batching
+//     across a worker pool, online p95 against the model's SLA.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	deeprecsys "github.com/deeprecinfra/deeprecsys"
 )
 
 func main() {
 	// 1. Functional path: rank 100 candidate items for one user with the
-	// Neural Collaborative Filtering model.
+	// Neural Collaborative Filtering model. The model instance is cached
+	// inside the System, so repeated calls do not rebuild embedding tables.
 	sys, err := deeprecsys.NewSystem("NCF", "skylake",
 		deeprecsys.WithSearchFidelity(800, 0.05))
 	if err != nil {
@@ -30,7 +37,8 @@ func main() {
 
 	// 2. At-scale path: compare the production static baseline against
 	// DeepRecSched-CPU for the embedding-dominated DLRM-RMC1 at its 100 ms
-	// p95 target.
+	// p95 target — first under the paper's production workload, then under
+	// an alternative scenario installed with WithWorkload.
 	rmc1, err := deeprecsys.NewSystem("DLRM-RMC1", "skylake",
 		deeprecsys.WithSearchFidelity(800, 0.05))
 	if err != nil {
@@ -39,10 +47,59 @@ func main() {
 	sla := rmc1.SLA()
 	base := rmc1.Baseline(sla)
 	tuned := rmc1.Tune(sla)
-	fmt.Printf("\nDLRM-RMC1 @ p95 <= %v on %s:\n", sla, rmc1.Platform())
+	fmt.Printf("\nDLRM-RMC1 @ p95 <= %v on %s (%s):\n", sla, rmc1.Platform(), rmc1.Workload().Name())
 	fmt.Printf("  static baseline: batch %4d  ->  %6.0f QPS (p95 %v)\n",
 		base.BatchSize, base.QPS, base.P95)
 	fmt.Printf("  DeepRecSched:    batch %4d  ->  %6.0f QPS (p95 %v)\n",
 		tuned.BatchSize, tuned.QPS, tuned.P95)
 	fmt.Printf("  throughput gain: %.2fx\n", tuned.QPS/base.QPS)
+
+	lognormal, err := deeprecsys.ParseWorkload("lognormal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := deeprecsys.NewSystem("DLRM-RMC1", "skylake",
+		deeprecsys.WithSearchFidelity(800, 0.05),
+		deeprecsys.WithWorkload(lognormal))
+	if err != nil {
+		log.Fatal(err)
+	}
+	lnTuned := ln.Tune(sla)
+	fmt.Printf("  same search under %s: batch %d -> %.0f QPS\n",
+		ln.Workload().Name(), lnTuned.BatchSize, lnTuned.QPS)
+
+	// 3. Live serving: a concurrent Service executing real NCF forward
+	// passes — four submitters race 25 queries each through the batching
+	// worker pool while the service tracks the online p95.
+	svc, err := sys.Serve(deeprecsys.ServeOptions{BatchSize: 64, SLA: sla})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := svc.Submit(context.Background(), 100, 1); err != nil {
+					log.Println(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := svc.Stats()
+	if err := svc.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlive NCF service: %d queries, online p50 %v  p95 %v  (SLA %v: %v)\n",
+		st.Completed, st.P50.Round(10e3), st.P95.Round(10e3), st.SLA, verdict(st.MeetsSLA()))
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "met"
+	}
+	return "violated"
 }

@@ -1,0 +1,67 @@
+package live
+
+import "time"
+
+// Controller thresholds. The hold band keeps the batch size still while the
+// measured tail sits comfortably under the target; the climb resumes only
+// when the tail drifts out of it.
+const (
+	// headroomFrac: below this fraction of the SLA the tail has enough
+	// slack to trade request-level parallelism back for batch efficiency.
+	headroomFrac = 0.5
+	// minTuneSamples gates adjustments until the window carries enough
+	// fresh observations to estimate a p95 at all.
+	minTuneSamples = 32
+)
+
+// controller is the online analogue of DeepRecSched's batch-size hill climb
+// (paper Section IV-C): instead of probing candidate batch sizes against a
+// capacity-search oracle, it walks the same power-of-two ladder against the
+// *measured* p95 of live traffic. Per-request batch size trades batch-level
+// efficiency against request-level parallelism, so the measured tail rises
+// with the batch: the controller seeks the largest batch whose p95 holds
+// the SLA — stepping down when the tail breaches the target, stepping up
+// when it has ample headroom, and holding inside the band. After every move
+// the window is reset and one interval is skipped so the next decision
+// reads only samples produced at the new operating point.
+func (s *Service) controller() {
+	defer close(s.ctrlDone)
+	ticker := time.NewTicker(s.cfg.TuneInterval)
+	defer ticker.Stop()
+	slaSec := s.cfg.SLA.Seconds()
+	settling := false
+	for {
+		select {
+		case <-s.ctrlStop:
+			return
+		case <-ticker.C:
+		}
+		if settling {
+			// The window now holds only post-change samples; measure next tick.
+			settling = false
+			s.win.Reset()
+			continue
+		}
+		if s.win.Len() < minTuneSamples {
+			continue
+		}
+		p95 := s.win.Percentile(95)
+		cur := int(s.batch.Load())
+		next := cur
+		switch {
+		case p95 > slaSec && cur > 1:
+			next = cur / 2 // tail breached: split finer for parallelism
+		case p95 < headroomFrac*slaSec && cur < MaxBatchSize:
+			next = cur * 2 // ample headroom: recover batch efficiency
+			if next > MaxBatchSize {
+				next = MaxBatchSize
+			}
+		}
+		if next != cur {
+			s.batch.Store(int64(next))
+			s.retunes.Add(1)
+			s.win.Reset()
+			settling = true
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/stats"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// testModel builds a small, fast zoo model for live-serving tests.
+func testModel(t testing.TB) *model.Model {
+	t.Helper()
+	cfg, err := model.ByName("NCF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newService(t testing.TB, cfg Config) *Service {
+	t.Helper()
+	if cfg.Model == nil {
+		cfg.Model = testModel(t)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	m := testModel(t)
+	bad := []Config{
+		{Model: m, Workers: -1},
+		{Model: m, BatchSize: -5},
+		{Model: m, BatchSize: MaxBatchSize + 1},
+		{Model: m, SLA: -time.Second},
+		{Model: m, AutoTune: true}, // no SLA
+		{Model: m, AutoTune: true, SLA: time.Second, WindowSize: minTuneSamples - 1},
+		{Model: m, TuneInterval: -time.Second},
+		{Model: m, WindowSize: -1},
+		{Model: m, QueueDepth: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newService(t, Config{Workers: 1, BatchSize: 8})
+	if _, err := s.Submit(context.Background(), Query{Candidates: 0}); err == nil {
+		t.Error("zero candidates accepted")
+	}
+	if _, err := s.Submit(context.Background(), Query{Candidates: 5, TopN: -1}); err == nil {
+		t.Error("negative TopN accepted")
+	}
+	if _, err := s.Submit(context.Background(), Query{Candidates: workload.MaxQuerySize + 1}); err == nil {
+		t.Error("oversized query accepted")
+	}
+}
+
+// TestConcurrentSubmitters hammers the service from many goroutines and
+// checks every reply is well-formed; -race covers the synchronization.
+func TestConcurrentSubmitters(t *testing.T) {
+	s := newService(t, Config{Workers: 4, BatchSize: 16, WindowSize: 1024})
+	const goroutines, perG = 8, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				candidates := 5 + (g*perG+i)%60
+				reply, err := s.Submit(context.Background(), Query{Candidates: candidates, TopN: 3})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(reply.Recs) != min(3, candidates) {
+					t.Errorf("got %d recs for %d candidates", len(reply.Recs), candidates)
+				}
+				for j, r := range reply.Recs {
+					if r.Item < 0 || r.Item >= candidates {
+						t.Errorf("item %d outside candidate set %d", r.Item, candidates)
+					}
+					if j > 0 && r.CTR > reply.Recs[j-1].CTR {
+						t.Error("recs not sorted by CTR")
+					}
+				}
+				if reply.Latency <= 0 {
+					t.Error("non-positive latency")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Completed != goroutines*perG || st.Submitted != goroutines*perG {
+		t.Errorf("stats = %+v, want %d completed", st, goroutines*perG)
+	}
+	if st.P95 <= 0 || st.P50 > st.P95 {
+		t.Errorf("online percentiles inconsistent: %+v", st)
+	}
+}
+
+// TestContextCancellationMidQuery cancels a query while its chunks are
+// queued behind a clogged single-worker pipeline.
+func TestContextCancellationMidQuery(t *testing.T) {
+	s := newService(t, Config{Workers: 1, BatchSize: 1, QueueDepth: 1})
+	// Clog the lone worker and the depth-1 queue with a many-chunk query.
+	bgDone := make(chan struct{})
+	go func() {
+		defer close(bgDone)
+		if _, err := s.Submit(context.Background(), Query{Candidates: 200}); err != nil {
+			t.Errorf("background query: %v", err)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := s.Submit(ctx, Query{Candidates: 200})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit = %v, want deadline exceeded", err)
+	}
+	<-bgDone
+	st := s.Stats()
+	if st.Cancelled != 1 || st.Completed != 1 {
+		t.Errorf("stats = %+v, want 1 cancelled / 1 completed", st)
+	}
+}
+
+// TestCloseDrains checks graceful shutdown: queries in flight when Close
+// begins complete normally, Close returns only after they have, and later
+// submissions are rejected with ErrClosed.
+func TestCloseDrains(t *testing.T) {
+	s := newService(t, Config{Workers: 2, BatchSize: 8})
+	const n = 10
+	var started, returned atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started.Add(1)
+			_, err := s.Submit(context.Background(), Query{Candidates: 40})
+			if err != nil && !errors.Is(err, ErrClosed) {
+				t.Errorf("Submit: %v", err)
+			}
+			returned.Add(1)
+		}()
+	}
+	for started.Load() < n {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every Submit that entered before Close must have returned by now:
+	// Close waits out the in-flight count before tearing the pool down.
+	if got := returned.Load(); got != started.Load() {
+		t.Errorf("Close returned with %d/%d submits outstanding", started.Load()-got, started.Load())
+	}
+	wg.Wait()
+	if _, err := s.Submit(context.Background(), Query{Candidates: 4}); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-Close Submit = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	st := s.Stats()
+	if st.Completed+st.Cancelled != uint64(st.Submitted) {
+		t.Errorf("accounting leak: %+v", st)
+	}
+}
+
+// TestOnlineP95MatchesReplies drives a deterministic fixed-size workload
+// serially and checks the online window converges to exactly the empirical
+// p95 of the measured replies (the window holds every sample).
+func TestOnlineP95MatchesReplies(t *testing.T) {
+	s := newService(t, Config{Workers: 2, BatchSize: 32, WindowSize: 512, SLA: time.Minute})
+	const n = 80
+	latencies := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		reply, err := s.Submit(context.Background(), Query{Candidates: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		latencies = append(latencies, reply.Latency.Seconds())
+	}
+	st := s.Stats()
+	if st.WindowLen != n {
+		t.Fatalf("window holds %d samples, want %d", st.WindowLen, n)
+	}
+	want := time.Duration(stats.Percentile(latencies, 95) * float64(time.Second))
+	if st.P95 != want {
+		t.Errorf("online p95 %v != empirical p95 %v", st.P95, want)
+	}
+	if !st.MeetsSLA() {
+		t.Errorf("a minute-scale SLA should be met, stats %+v", st)
+	}
+}
+
+// TestAutoTuneStepsDown checks the controller reacts to a breached tail by
+// reducing the batch size (more request-level parallelism).
+func TestAutoTuneStepsDown(t *testing.T) {
+	s := newService(t, Config{
+		Workers: 2, BatchSize: 256, WindowSize: 256,
+		SLA:      time.Nanosecond, // unmeetable: every sample breaches
+		AutoTune: true, TuneInterval: 10 * time.Millisecond,
+	})
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := s.Submit(context.Background(), Query{Candidates: 16}); err != nil {
+			t.Fatal(err)
+		}
+		if s.Stats().Retunes >= 2 {
+			break
+		}
+	}
+	st := s.Stats()
+	if st.Retunes < 1 || st.BatchSize >= 256 {
+		t.Errorf("controller never stepped down: %+v", st)
+	}
+}
+
+// TestAutoTuneStepsUp checks the controller recovers batch efficiency when
+// the tail has ample headroom.
+func TestAutoTuneStepsUp(t *testing.T) {
+	s := newService(t, Config{
+		Workers: 2, BatchSize: 1, WindowSize: 256,
+		SLA:      time.Hour, // bottomless headroom
+		AutoTune: true, TuneInterval: 10 * time.Millisecond,
+	})
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := s.Submit(context.Background(), Query{Candidates: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if s.Stats().Retunes >= 1 {
+			break
+		}
+	}
+	st := s.Stats()
+	if st.Retunes < 1 || st.BatchSize <= 1 {
+		t.Errorf("controller never stepped up: %+v", st)
+	}
+}
+
+// TestAutoTuneClampsAtMax starts from a non-power-of-two batch so the
+// doubling step would overshoot MaxBatchSize without the clamp.
+func TestAutoTuneClampsAtMax(t *testing.T) {
+	s := newService(t, Config{
+		Workers: 2, BatchSize: 600, WindowSize: 256,
+		SLA: time.Hour, AutoTune: true, TuneInterval: 10 * time.Millisecond,
+	})
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := s.Submit(context.Background(), Query{Candidates: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if s.Stats().Retunes >= 1 {
+			break
+		}
+	}
+	st := s.Stats()
+	if st.Retunes < 1 {
+		t.Fatal("controller never stepped up")
+	}
+	if st.BatchSize <= 600 || st.BatchSize > MaxBatchSize {
+		t.Errorf("batch %d after step-up, want (600, %d]", st.BatchSize, MaxBatchSize)
+	}
+}
+
+func TestSetBatchSize(t *testing.T) {
+	s := newService(t, Config{Workers: 1})
+	if err := s.SetBatchSize(64); err != nil || s.BatchSize() != 64 {
+		t.Errorf("SetBatchSize(64): %v, batch %d", err, s.BatchSize())
+	}
+	if err := s.SetBatchSize(0); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if err := s.SetBatchSize(MaxBatchSize + 1); err == nil {
+		t.Error("oversized batch accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

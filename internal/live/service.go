@@ -1,0 +1,396 @@
+// Package live is the online counterpart of the offline serving simulator:
+// a real concurrent recommendation server executing the paper's serving
+// loop (Fig. 8) on the host. Queries arrive via Submit from any number of
+// goroutines; a batching scheduler splits each query into batch-sized
+// requests dispatched to a CPU worker pool that runs actual model forward
+// passes; measured latencies feed a sliding-window tail estimator; and an
+// optional DeepRecSched-style controller retunes the batch size against the
+// measured p95 while the service runs.
+//
+// The offline simulator answers "what would this policy sustain?"; this
+// package *is* the policy, serving live traffic. They share the model zoo,
+// the batching discipline, and the tail-latency objective, so a
+// configuration tuned offline can be deployed here unchanged.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/stats"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("live: service closed")
+
+// MaxBatchSize caps the per-request batch size, matching the range the
+// paper's hill climb explores (up to 1024).
+const MaxBatchSize = 1024
+
+// Config parameterizes a Service. Model is required; every other field has
+// a working default.
+type Config struct {
+	// Model executes the forward passes. It must not be mutated while the
+	// service runs; concurrent Forward calls are safe by construction
+	// (weights are read-only, outputs freshly allocated).
+	Model *model.Model
+	// Workers is the CPU worker-pool size (default GOMAXPROCS).
+	Workers int
+	// BatchSize is the initial per-request batch size (default 256). The
+	// controller retunes it when AutoTune is set.
+	BatchSize int
+	// SLA is the p95 tail-latency target reported by Stats and steered
+	// toward by the controller. Required when AutoTune is set.
+	SLA time.Duration
+	// AutoTune enables the background controller: a hill climb on the
+	// batch-size knob against the measured p95 (the online analogue of
+	// DeepRecSched's tuning loop).
+	AutoTune bool
+	// TuneInterval is the controller's adjustment period (default 250ms).
+	TuneInterval time.Duration
+	// WindowSize bounds the online latency window (default 4096 samples).
+	WindowSize int
+	// QueueDepth bounds the request queue (default 8 per worker).
+	QueueDepth int
+	// Seed makes the per-worker input RNGs deterministic (default 1).
+	Seed int64
+}
+
+// withDefaults returns cfg with defaults filled in, validating what cannot
+// be defaulted.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Model == nil {
+		return cfg, errors.New("live: Config.Model is required")
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		return cfg, fmt.Errorf("live: %d workers", cfg.Workers)
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.BatchSize < 1 || cfg.BatchSize > MaxBatchSize {
+		return cfg, fmt.Errorf("live: batch size %d outside [1, %d]", cfg.BatchSize, MaxBatchSize)
+	}
+	if cfg.SLA < 0 {
+		return cfg, fmt.Errorf("live: negative SLA %v", cfg.SLA)
+	}
+	if cfg.AutoTune && cfg.SLA == 0 {
+		return cfg, errors.New("live: AutoTune requires an SLA target")
+	}
+	if cfg.TuneInterval == 0 {
+		cfg.TuneInterval = 250 * time.Millisecond
+	}
+	if cfg.TuneInterval < 0 {
+		return cfg, fmt.Errorf("live: negative tune interval %v", cfg.TuneInterval)
+	}
+	if cfg.WindowSize == 0 {
+		cfg.WindowSize = 4096
+	}
+	if cfg.WindowSize < 1 {
+		return cfg, fmt.Errorf("live: window size %d < 1", cfg.WindowSize)
+	}
+	if cfg.AutoTune && cfg.WindowSize < minTuneSamples {
+		return cfg, fmt.Errorf("live: AutoTune needs a window of at least %d samples, got %d", minTuneSamples, cfg.WindowSize)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 8 * cfg.Workers
+	}
+	if cfg.QueueDepth < 1 {
+		return cfg, fmt.Errorf("live: queue depth %d < 1", cfg.QueueDepth)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg, nil
+}
+
+// Query is one live recommendation request: rank Candidates items for one
+// user and return the TopN highest-CTR items (TopN 0 skips ranking and
+// measures latency only, which load tests use). Candidates is bounded by
+// workload.MaxQuerySize, the same cap every other query path enforces.
+type Query struct {
+	Candidates int
+	TopN       int
+}
+
+// Reply is the answer to one Query.
+type Reply struct {
+	// Recs is the TopN ranked recommendations (nil when TopN is 0).
+	Recs []model.Ranked
+	// Latency is the measured end-to-end query latency.
+	Latency time.Duration
+	// BatchSize is the per-request batch size the query was split at.
+	BatchSize int
+}
+
+// Stats is an online snapshot of the service.
+type Stats struct {
+	// Submitted / Completed / Cancelled are lifetime query counts.
+	Submitted uint64
+	Completed uint64
+	Cancelled uint64
+	// BatchSize is the current per-request batch size.
+	BatchSize int
+	// P50 / P95 are the windowed online latency percentiles.
+	P50, P95 time.Duration
+	// WindowLen is the number of samples behind the percentiles.
+	WindowLen int
+	// SLA echoes the configured target (0 = none).
+	SLA time.Duration
+	// Retunes counts batch-size changes made by the controller.
+	Retunes uint64
+}
+
+// MeetsSLA reports whether the online p95 is within the target (false when
+// no SLA is configured or no sample has been measured).
+func (s Stats) MeetsSLA() bool {
+	return s.SLA > 0 && s.WindowLen > 0 && s.P95 <= s.SLA
+}
+
+// inflight tracks one submitted query across its batch-sized chunks.
+type inflight struct {
+	topN    int
+	pending atomic.Int32 // outstanding chunks; closing done at zero
+	skip    atomic.Bool  // cancelled: workers drop remaining work
+	done    chan struct{}
+
+	mu   sync.Mutex
+	recs []model.Ranked // per-chunk top-N candidates, merged at completion
+}
+
+// retire marks one chunk finished, closing done on the last.
+func (q *inflight) retire() {
+	if q.pending.Add(-1) == 0 {
+		close(q.done)
+	}
+}
+
+// chunk is one batch-sized slice of a query awaiting a worker.
+type chunk struct {
+	q    *inflight
+	base int // global index of the chunk's first candidate
+	size int
+}
+
+// Service is a live concurrent recommendation server. Create one with New,
+// submit queries from any number of goroutines, and Close it to drain.
+type Service struct {
+	cfg   Config
+	tasks chan chunk
+	batch atomic.Int64
+	win   *stats.Window
+
+	mu       sync.Mutex
+	closed   bool
+	inFlight sync.WaitGroup // open Submit calls
+	workers  sync.WaitGroup
+
+	ctrlStop chan struct{}
+	ctrlDone chan struct{}
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	cancelled atomic.Uint64
+	retunes   atomic.Uint64
+}
+
+// New starts the worker pool (and the controller when configured) and
+// returns a running Service.
+func New(cfg Config) (*Service, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:   cfg,
+		tasks: make(chan chunk, cfg.QueueDepth),
+		win:   stats.NewWindow(cfg.WindowSize),
+	}
+	s.batch.Store(int64(cfg.BatchSize))
+	s.workers.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker(rand.New(rand.NewSource(cfg.Seed + int64(w))))
+	}
+	if cfg.AutoTune {
+		s.ctrlStop = make(chan struct{})
+		s.ctrlDone = make(chan struct{})
+		go s.controller()
+	}
+	return s, nil
+}
+
+// worker executes batch-sized chunks: a real forward pass over a fresh
+// random input of the chunk's size, then (when the query wants ranked
+// output) a per-chunk top-N selection merged at query completion.
+func (s *Service) worker(rng *rand.Rand) {
+	defer s.workers.Done()
+	m := s.cfg.Model
+	for c := range s.tasks {
+		if c.q.skip.Load() {
+			c.q.retire()
+			continue
+		}
+		in := m.NewInput(rng, c.size)
+		out := m.Forward(in)
+		if n := c.q.topN; n > 0 {
+			if n > c.size {
+				n = c.size
+			}
+			ranked := model.RankTopN(out, n)
+			for i := range ranked {
+				ranked[i].Item += c.base
+			}
+			c.q.mu.Lock()
+			c.q.recs = append(c.q.recs, ranked...)
+			c.q.mu.Unlock()
+		}
+		c.q.retire()
+	}
+}
+
+// Submit serves one query: it is split into batch-sized requests executed
+// by the worker pool, and blocks until the last request completes, the
+// context is cancelled, or the service closes. Submit is safe for
+// concurrent use from any number of goroutines.
+func (s *Service) Submit(ctx context.Context, q Query) (Reply, error) {
+	if q.Candidates < 1 || q.Candidates > workload.MaxQuerySize {
+		return Reply{}, fmt.Errorf("live: candidates %d outside [1, %d]", q.Candidates, workload.MaxQuerySize)
+	}
+	if q.TopN < 0 {
+		return Reply{}, fmt.Errorf("live: negative TopN %d", q.TopN)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Reply{}, ErrClosed
+	}
+	s.inFlight.Add(1)
+	s.mu.Unlock()
+	defer s.inFlight.Done()
+	s.submitted.Add(1)
+
+	batch := int(s.batch.Load())
+	nChunks := (q.Candidates + batch - 1) / batch
+	iq := &inflight{topN: q.TopN, done: make(chan struct{})}
+	iq.pending.Store(int32(nChunks))
+
+	start := time.Now()
+	base := 0
+	for i := 0; i < nChunks; i++ {
+		size := batch
+		if rem := q.Candidates - base; size > rem {
+			size = rem
+		}
+		select {
+		case s.tasks <- chunk{q: iq, base: base, size: size}:
+			base += size
+		case <-ctx.Done():
+			// Unsent chunks retire here; sent ones retire in workers,
+			// which skip their forward pass once the flag is up.
+			iq.skip.Store(true)
+			for j := i; j < nChunks; j++ {
+				iq.retire()
+			}
+			s.cancelled.Add(1)
+			return Reply{}, ctx.Err()
+		}
+	}
+
+	select {
+	case <-iq.done:
+	case <-ctx.Done():
+		iq.skip.Store(true)
+		s.cancelled.Add(1)
+		return Reply{}, ctx.Err()
+	}
+
+	latency := time.Since(start)
+	s.win.Add(latency.Seconds())
+	s.completed.Add(1)
+
+	reply := Reply{Latency: latency, BatchSize: batch}
+	if q.TopN > 0 {
+		reply.Recs = mergeTopN(iq.recs, q.TopN)
+	}
+	return reply, nil
+}
+
+// mergeTopN merges the per-chunk candidate lists into the global top-n.
+// Every chunk contributed its own top-min(n, chunkSize), so the global
+// top-n is a subset of the union.
+func mergeTopN(recs []model.Ranked, n int) []model.Ranked {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].CTR != recs[j].CTR {
+			return recs[i].CTR > recs[j].CTR
+		}
+		return recs[i].Item < recs[j].Item
+	})
+	if n > len(recs) {
+		n = len(recs)
+	}
+	return recs[:n]
+}
+
+// BatchSize returns the current per-request batch size.
+func (s *Service) BatchSize() int { return int(s.batch.Load()) }
+
+// SetBatchSize retunes the per-request batch size for subsequent queries
+// (manual counterpart of the AutoTune controller).
+func (s *Service) SetBatchSize(b int) error {
+	if b < 1 || b > MaxBatchSize {
+		return fmt.Errorf("live: batch size %d outside [1, %d]", b, MaxBatchSize)
+	}
+	s.batch.Store(int64(b))
+	return nil
+}
+
+// Stats returns an online snapshot.
+func (s *Service) Stats() Stats {
+	sum := s.win.Summary()
+	return Stats{
+		Submitted: s.submitted.Load(),
+		Completed: s.completed.Load(),
+		Cancelled: s.cancelled.Load(),
+		BatchSize: s.BatchSize(),
+		P50:       time.Duration(sum.P50 * float64(time.Second)),
+		P95:       time.Duration(sum.P95 * float64(time.Second)),
+		WindowLen: sum.Count,
+		SLA:       s.cfg.SLA,
+		Retunes:   s.retunes.Load(),
+	}
+}
+
+// Close stops accepting queries, waits for every in-flight query to
+// complete, and shuts down the worker pool and controller. Close is
+// idempotent; concurrent Submit calls either finish normally or observe
+// ErrClosed.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.inFlight.Wait() // all Submits returned: no more sends on tasks
+	close(s.tasks)
+	s.workers.Wait()
+	if s.ctrlStop != nil {
+		close(s.ctrlStop)
+		<-s.ctrlDone
+	}
+	return nil
+}

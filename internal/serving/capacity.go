@@ -19,6 +19,10 @@ type SearchOpts struct {
 	Queries int
 	// Warmup queries excluded from tail statistics.
 	Warmup int
+	// Arrivals selects the arrival process probed by the search:
+	// "poisson" (the production default; "" means poisson) or "uniform"
+	// (evenly spaced arrivals, isolating queueing from burstiness).
+	Arrivals string
 	// Seed makes every evaluation use the same query stream shape, so
 	// comparisons between configurations are paired.
 	Seed int64
@@ -127,7 +131,14 @@ func (s *capacitySearch) evaluate(qps float64) (Result, bool) {
 		return Result{}, false
 	}
 	if s.stream == nil {
-		s.stream = workload.NewPoissonStream(s.opts.Sizes, s.opts.Queries, s.opts.Seed)
+		switch s.opts.Arrivals {
+		case "", "poisson":
+			s.stream = workload.NewPoissonStream(s.opts.Sizes, s.opts.Queries, s.opts.Seed)
+		case "uniform":
+			s.stream = workload.NewUniformStream(s.opts.Sizes, s.opts.Queries, s.opts.Seed)
+		default:
+			panic(fmt.Sprintf("serving: unknown arrival process %q", s.opts.Arrivals))
+		}
 		s.buf = make([]workload.Query, 0, s.opts.Queries)
 	}
 	cfg := s.cfg
@@ -141,9 +152,9 @@ func (s *capacitySearch) evaluate(qps float64) (Result, bool) {
 	return res, drain <= 2*s.opts.SLA
 }
 
-// MaxQPS finds the highest Poisson arrival rate whose p95 latency meets the
-// SLA for the given configuration: the paper's "latency-bounded throughput"
-// metric. It returns 0 and a zero Result when even a trickle of load misses
+// MaxQPS finds the highest arrival rate (Poisson by default; see
+// SearchOpts.Arrivals) whose p95 latency meets the SLA for the given
+// configuration: the paper's "latency-bounded throughput" metric. It returns 0 and a zero Result when even a trickle of load misses
 // the SLA (the configuration cannot serve this model at this target at all —
 // e.g. a batch size whose single-request service time exceeds the SLA).
 //

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Spec parsing: the textual workload format shared by the public
+// deeprecsys.ParseWorkload API, cmd/loadgen, and cmd/replay. A size
+// distribution spec is one of
+//
+//	production                 the paper's heavy-tailed production dist
+//	lognormal                  the canonical comparison dist (defaults)
+//	lognormal:<mu>,<sigma>     explicit lognormal parameters
+//	normal                     N(100, 40) (the loadgen default)
+//	normal:<mean>,<stddev>     explicit normal parameters
+//	fixed:<n>                  every query carries n items
+//
+// and an arrival spec is "poisson" or "uniform" (rate supplied separately).
+
+// ParseDist parses a size-distribution spec.
+func ParseDist(spec string) (SizeDist, error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	switch name {
+	case "production":
+		if hasArg {
+			return nil, fmt.Errorf("workload: production takes no parameters (got %q)", spec)
+		}
+		return DefaultProduction(), nil
+	case "lognormal":
+		if !hasArg {
+			return DefaultLogNormal(), nil
+		}
+		mu, sigma, err := parsePair(arg)
+		if err != nil || sigma <= 0 {
+			return nil, fmt.Errorf("workload: bad lognormal spec %q (want lognormal:<mu>,<sigma> with sigma > 0)", spec)
+		}
+		return LogNormal{Mu: mu, Sigma: sigma}, nil
+	case "normal":
+		if !hasArg {
+			return Normal{Mean: 100, Stddev: 40}, nil
+		}
+		mean, stddev, err := parsePair(arg)
+		if err != nil || stddev < 0 {
+			return nil, fmt.Errorf("workload: bad normal spec %q (want normal:<mean>,<stddev> with stddev >= 0)", spec)
+		}
+		return Normal{Mean: mean, Stddev: stddev}, nil
+	case "fixed":
+		if !hasArg {
+			return nil, fmt.Errorf("workload: fixed needs a size (want fixed:<n>)")
+		}
+		size, err := strconv.Atoi(arg)
+		if err != nil || size < 1 || size > MaxQuerySize {
+			return nil, fmt.Errorf("workload: bad fixed size in %q (want 1..%d)", spec, MaxQuerySize)
+		}
+		return Fixed{Size: size}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %q (have production, lognormal, normal, fixed:<n>)", spec)
+	}
+}
+
+// parsePair parses "a,b" into two floats.
+func parsePair(s string) (float64, float64, error) {
+	a, b, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("workload: want two comma-separated values, got %q", s)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return x, y, nil
+}
+
+// ParseArrivals parses an arrival-process spec at the given mean rate.
+func ParseArrivals(spec string, ratePerSec float64) (ArrivalProcess, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate must be positive, got %v", ratePerSec)
+	}
+	switch spec {
+	case "poisson":
+		return Poisson{RatePerSec: ratePerSec}, nil
+	case "uniform":
+		return Uniform{RatePerSec: ratePerSec}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown arrival process %q (have poisson, uniform)", spec)
+	}
+}
+
+// GenerateSpec parses a (distribution, arrivals) spec pair and generates a
+// deterministic n-query stream — the shared generate-from-spec entry point
+// of cmd/replay and the deeprecsys serve subcommand.
+func GenerateSpec(dist, arrivals string, rate float64, n int, seed int64) ([]Query, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: need at least one query, got %d", n)
+	}
+	sizes, err := ParseDist(dist)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := ParseArrivals(arrivals, rate)
+	if err != nil {
+		return nil, err
+	}
+	return NewGenerator(proc, sizes, seed).Take(n), nil
+}
+
+// Empirical resamples query sizes uniformly from a recorded population —
+// the size distribution implied by a captured trace. It lets trace-replay
+// workloads drive the capacity search and the tuner, which need a SizeDist
+// they can sample indefinitely, not a finite query list.
+type Empirical struct {
+	// Sizes is the recorded population; it must be non-empty with every
+	// value in [1, MaxQuerySize]. NewEmpirical validates once so Sample
+	// stays a bare slice index.
+	sizes []int
+}
+
+// NewEmpirical builds an Empirical distribution over the recorded sizes.
+func NewEmpirical(sizes []int) (Empirical, error) {
+	if len(sizes) == 0 {
+		return Empirical{}, fmt.Errorf("workload: empirical distribution needs at least one size")
+	}
+	for i, v := range sizes {
+		if v < 1 || v > MaxQuerySize {
+			return Empirical{}, fmt.Errorf("workload: empirical size %d at index %d outside [1, %d]", v, i, MaxQuerySize)
+		}
+	}
+	own := make([]int, len(sizes))
+	copy(own, sizes)
+	return Empirical{sizes: own}, nil
+}
+
+// EmpiricalFromTrace builds an Empirical distribution from a query trace.
+func EmpiricalFromTrace(queries []Query) (Empirical, error) {
+	sizes := make([]int, len(queries))
+	for i, q := range queries {
+		sizes[i] = q.Size
+	}
+	return NewEmpirical(sizes)
+}
+
+// Sample implements SizeDist.
+func (e Empirical) Sample(rng *rand.Rand) int { return e.sizes[rng.Intn(len(e.sizes))] }
+
+// Name implements SizeDist.
+func (e Empirical) Name() string { return fmt.Sprintf("empirical(%d sizes)", len(e.sizes)) }

@@ -36,6 +36,23 @@ func NewPoissonStream(sizes SizeDist, n int, seed int64) *PoissonStream {
 	return s
 }
 
+// NewUniformStream builds the stream shape of uniformly spaced arrivals:
+// every unit-rate gap is exactly 1, so realizing at a rate reproduces
+// NewGenerator(Uniform{rate}, sizes, seed).Take(n) bit-for-bit (Uniform's
+// NextGap consumes no randomness, so the size draws line up too).
+func NewUniformStream(sizes SizeDist, n int, seed int64) *PoissonStream {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: UniformStream needs at least one query, got %d", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &PoissonStream{sizes: make([]int, n), exps: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s.sizes[i] = sizes.Sample(rng)
+		s.exps[i] = 1
+	}
+	return s
+}
+
 // Len returns the number of queries in the stream.
 func (s *PoissonStream) Len() int { return len(s.sizes) }
 

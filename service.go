@@ -1,0 +1,152 @@
+package deeprecsys
+
+import (
+	"context"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/live"
+)
+
+// ErrServiceClosed is returned by Service.Submit after Close has begun.
+var ErrServiceClosed = live.ErrClosed
+
+// ServeOptions configures a live Service. The zero value works: worker
+// count defaults to GOMAXPROCS, the batch size to 256, and the SLA to the
+// model's published tail-latency target.
+type ServeOptions struct {
+	// Workers is the CPU worker-pool size.
+	Workers int
+	// BatchSize is the initial per-request batch size; queries are split
+	// into batch-sized requests executed in parallel by the worker pool.
+	BatchSize int
+	// SLA overrides the model's published p95 target.
+	SLA time.Duration
+	// AutoTune runs the DeepRecSched hill climb online: a background
+	// controller retunes the batch size against the measured p95.
+	AutoTune bool
+	// TuneInterval is the controller's adjustment period (default 250ms).
+	TuneInterval time.Duration
+	// WindowSize bounds the online latency window (default 4096 samples).
+	WindowSize int
+	// QueueDepth bounds the request queue (default 8 per worker).
+	QueueDepth int
+}
+
+// Service is a live concurrent recommendation server for one System: the
+// online counterpart of the offline Tune/Capacity simulator. Submit real
+// queries from any number of goroutines; the service batches them across a
+// CPU worker pool running actual model forward passes, tracks the online
+// p95 against the SLA, and drains gracefully on Close.
+type Service struct {
+	inner *live.Service
+	model string
+}
+
+// Serve starts a live Service for the system's model. The system's cached
+// model instance backs the worker pool, so a Service shares weights with
+// Recommend and the real-execution engine.
+func (s *System) Serve(opts ServeOptions) (*Service, error) {
+	m, err := s.modelInstance()
+	if err != nil {
+		return nil, err
+	}
+	sla := opts.SLA
+	if sla == 0 {
+		sla = s.cfg.SLAMedium
+	}
+	inner, err := live.New(live.Config{
+		Model:        m,
+		Workers:      opts.Workers,
+		BatchSize:    opts.BatchSize,
+		SLA:          sla,
+		AutoTune:     opts.AutoTune,
+		TuneInterval: opts.TuneInterval,
+		WindowSize:   opts.WindowSize,
+		QueueDepth:   opts.QueueDepth,
+		Seed:         s.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Service{inner: inner, model: s.cfg.Name}, nil
+}
+
+// Reply is the answer to one live query.
+type Reply struct {
+	// Recs is the topN ranked recommendations (nil when topN is 0).
+	Recs []Recommendation
+	// Latency is the measured end-to-end latency of the query.
+	Latency time.Duration
+	// BatchSize is the per-request batch size the query was split at.
+	BatchSize int
+}
+
+// Submit serves one live query: rank `candidates` items and return the
+// `topN` highest-CTR ones (topN 0 skips ranking; load drivers use it to
+// measure latency only). Submit blocks until the query completes, ctx is
+// cancelled, or the service closes; it is safe for concurrent use.
+func (s *Service) Submit(ctx context.Context, candidates, topN int) (Reply, error) {
+	r, err := s.inner.Submit(ctx, live.Query{Candidates: candidates, TopN: topN})
+	if err != nil {
+		return Reply{}, err
+	}
+	reply := Reply{Latency: r.Latency, BatchSize: r.BatchSize}
+	if topN > 0 {
+		reply.Recs = make([]Recommendation, len(r.Recs))
+		for i, rec := range r.Recs {
+			reply.Recs[i] = Recommendation{Item: rec.Item, CTR: rec.CTR}
+		}
+	}
+	return reply, nil
+}
+
+// ServiceStats is an online snapshot of a live Service.
+type ServiceStats struct {
+	// Model is the served model's name.
+	Model string
+	// Submitted / Completed / Cancelled are lifetime query counts.
+	Submitted, Completed, Cancelled uint64
+	// BatchSize is the current per-request batch size.
+	BatchSize int
+	// P50 / P95 are the windowed online latency percentiles.
+	P50, P95 time.Duration
+	// WindowLen is the number of samples behind the percentiles.
+	WindowLen int
+	// SLA is the target the service reports against.
+	SLA time.Duration
+	// Retunes counts batch-size changes made by the AutoTune controller.
+	Retunes uint64
+}
+
+// MeetsSLA reports whether the online p95 is within the target.
+func (st ServiceStats) MeetsSLA() bool {
+	return st.SLA > 0 && st.WindowLen > 0 && st.P95 <= st.SLA
+}
+
+// Stats returns an online snapshot of the service.
+func (s *Service) Stats() ServiceStats {
+	st := s.inner.Stats()
+	return ServiceStats{
+		Model:     s.model,
+		Submitted: st.Submitted,
+		Completed: st.Completed,
+		Cancelled: st.Cancelled,
+		BatchSize: st.BatchSize,
+		P50:       st.P50,
+		P95:       st.P95,
+		WindowLen: st.WindowLen,
+		SLA:       st.SLA,
+		Retunes:   st.Retunes,
+	}
+}
+
+// BatchSize returns the current per-request batch size.
+func (s *Service) BatchSize() int { return s.inner.BatchSize() }
+
+// SetBatchSize retunes the batch size for subsequent queries (the manual
+// counterpart of AutoTune).
+func (s *Service) SetBatchSize(b int) error { return s.inner.SetBatchSize(b) }
+
+// Close stops accepting queries, drains every in-flight query, and shuts
+// the worker pool down. Close is idempotent.
+func (s *Service) Close() error { return s.inner.Close() }
