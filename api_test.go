@@ -246,3 +246,75 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Errorf("post-Close Submit = %v", err)
 	}
 }
+
+// TestServeWithGPUOffload exercises the live accelerator lane end to end
+// through the public surface: a WithGPU system serves queries above the
+// threshold whole on the modeled accelerator, reports the offload counters,
+// and retunes the threshold through SetGPUThreshold.
+func TestServeWithGPUOffload(t *testing.T) {
+	sys, err := deeprecsys.NewSystem("NCF", "skylake", deeprecsys.WithGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := sys.Serve(deeprecsys.ServeOptions{Workers: 2, BatchSize: 16, GPUThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	small, err := svc.Submit(ctx, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Offloaded || small.BatchSize != 16 {
+		t.Errorf("size 50 under threshold: %+v, want CPU lane at batch 16", small)
+	}
+	big, err := svc.Submit(ctx, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !big.Offloaded || big.BatchSize != 200 || len(big.Recs) != 2 {
+		t.Errorf("size 200 over threshold: %+v, want whole-query offload with 2 recs", big)
+	}
+
+	st := svc.Stats()
+	if st.GPUThreshold != 100 || st.GPUQueries != 1 {
+		t.Errorf("stats = %+v, want threshold 100 with 1 offload", st)
+	}
+	if st.GPUQueryShare != 0.5 {
+		t.Errorf("GPUQueryShare = %v, want 0.5", st.GPUQueryShare)
+	}
+	if want := 200.0 / 250.0; st.GPUWorkShare != want {
+		t.Errorf("GPUWorkShare = %v, want %v", st.GPUWorkShare, want)
+	}
+
+	if err := svc.SetGPUThreshold(0); err != nil || svc.GPUThreshold() != 0 {
+		t.Fatalf("SetGPUThreshold(0): %v, threshold %d", err, svc.GPUThreshold())
+	}
+	again, err := svc.Submit(ctx, 200, 0)
+	if err != nil || again.Offloaded {
+		t.Errorf("offload disabled: err=%v reply=%+v", err, again)
+	}
+}
+
+// TestServeGPUValidation pins the capability checks: an offload threshold
+// needs a provisioned accelerator, both at Serve time and when retuning a
+// running CPU-only service.
+func TestServeGPUValidation(t *testing.T) {
+	sys, err := deeprecsys.NewSystem("NCF", "skylake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Serve(deeprecsys.ServeOptions{GPUThreshold: 10}); err == nil {
+		t.Error("Serve accepted an offload threshold without WithGPU")
+	}
+	svc, err := sys.Serve(deeprecsys.ServeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.SetGPUThreshold(10); err == nil {
+		t.Error("SetGPUThreshold accepted on a CPU-only service")
+	}
+}

@@ -254,6 +254,23 @@ func BenchmarkServingSimulation(b *testing.B) {
 	}
 }
 
+func BenchmarkServingSimulationGPUOffload(b *testing.B) {
+	cfg, err := model.ByName("DLRM-RMC1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := serving.NewPlatformEngine(platform.Skylake(), platform.DefaultGPU(), cfg)
+	gen := workload.NewGenerator(workload.Poisson{RatePerSec: 800}, workload.DefaultProduction(), 5)
+	queries := gen.Take(2000)
+	var share float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := serving.Run(e, serving.Config{BatchSize: 256, GPUThreshold: 128, Warmup: 100}, queries)
+		share = res.GPUWorkShare
+	}
+	b.ReportMetric(share, "gpu-work-share")
+}
+
 func BenchmarkCapacitySearch(b *testing.B) {
 	cfg, err := model.ByName("DLRM-RMC1")
 	if err != nil {

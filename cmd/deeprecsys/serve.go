@@ -24,8 +24,10 @@ func serveMain(args []string) {
 	modelName := fs.String("model", "NCF", "zoo model to serve")
 	workers := fs.Int("workers", 0, "CPU worker-pool size (0 = GOMAXPROCS)")
 	batch := fs.Int("batch", 256, "initial per-request batch size")
+	gpu := fs.Bool("gpu", false, "provision the modeled accelerator offload lane")
+	threshold := fs.Int("threshold", 0, "initial offload threshold: queries >= this size go whole to the accelerator (0 = no offload; needs -gpu)")
 	sla := fs.Duration("sla", 0, "p95 target (0 = the model's published SLA)")
-	autotune := fs.Bool("autotune", false, "retune the batch size online against the measured p95")
+	autotune := fs.Bool("autotune", false, "retune the knobs online against the measured p95 (batch size, and offload threshold with -gpu)")
 	topn := fs.Int("topn", 0, "ranked items to return per query (0 = latency only)")
 	tracePath := fs.String("trace", "", "replay a loadgen CSV trace ('-' = stdin)")
 	wl := fs.String("workload", "production", "workload spec to generate the drive stream (ignored with -trace)")
@@ -47,16 +49,25 @@ func serveMain(args []string) {
 		os.Exit(2)
 	}
 
-	sys, err := deeprecsys.NewSystem(*modelName, "skylake", deeprecsys.WithSeed(*seed))
+	if *threshold > 0 && !*gpu {
+		fmt.Fprintln(os.Stderr, "serve: -threshold needs -gpu")
+		os.Exit(2)
+	}
+	sysOpts := []deeprecsys.Option{deeprecsys.WithSeed(*seed)}
+	if *gpu {
+		sysOpts = append(sysOpts, deeprecsys.WithGPU())
+	}
+	sys, err := deeprecsys.NewSystem(*modelName, "skylake", sysOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	svc, err := sys.Serve(deeprecsys.ServeOptions{
-		Workers:   *workers,
-		BatchSize: *batch,
-		SLA:       *sla,
-		AutoTune:  *autotune,
+		Workers:      *workers,
+		BatchSize:    *batch,
+		GPUThreshold: *threshold,
+		SLA:          *sla,
+		AutoTune:     *autotune,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -78,8 +89,12 @@ func serveMain(args []string) {
 			select {
 			case <-ticker.C:
 				s := svc.Stats()
-				fmt.Printf("  %6d done  batch %4d  online p50 %-12v p95 %v\n",
-					s.Completed, s.BatchSize, s.P50.Round(10*time.Microsecond), s.P95.Round(10*time.Microsecond))
+				line := fmt.Sprintf("  %6d done  batch %4d", s.Completed, s.BatchSize)
+				if *gpu {
+					line += fmt.Sprintf("  thr %4d", s.GPUThreshold)
+				}
+				fmt.Printf("%s  online p50 %-12v p95 %v\n",
+					line, s.P50.Round(10*time.Microsecond), s.P95.Round(10*time.Microsecond))
 			case <-progress:
 				return
 			}
@@ -88,6 +103,11 @@ func serveMain(args []string) {
 
 	var wg sync.WaitGroup
 	var failed atomic.Uint64
+	// The offered-QPS denominator must reflect the queries actually
+	// submitted: an interrupt truncates the drive loop, and the full
+	// generated stream's span would then misreport the offered rate.
+	submitted := 0
+	var firstArrival, lastArrival time.Duration
 	start := time.Now()
 drive:
 	for _, q := range queries {
@@ -99,6 +119,11 @@ drive:
 				break drive
 			}
 		}
+		if submitted == 0 {
+			firstArrival = q.Arrival
+		}
+		lastArrival = q.Arrival
+		submitted++
 		wg.Add(1)
 		go func(size int) {
 			defer wg.Done()
@@ -117,19 +142,27 @@ drive:
 		os.Exit(1)
 	}
 	offered := "n/a"
-	if span := queries[len(queries)-1].Arrival.Seconds() / *speed; span > 0 {
-		offered = fmt.Sprintf("%.1f", float64(len(queries))/span)
+	if span := (lastArrival - firstArrival).Seconds() / *speed; span > 0 && submitted > 1 {
+		offered = fmt.Sprintf("%.1f", float64(submitted-1)/span)
 	}
 	fmt.Printf("served %d/%d queries in %v (%s QPS offered, %.1f achieved)\n",
-		final.Completed, len(queries), elapsed.Round(time.Millisecond),
+		final.Completed, submitted, elapsed.Round(time.Millisecond),
 		offered, float64(final.Completed)/elapsed.Seconds())
 	fmt.Printf("online latency: p50 %v  p95 %v  (window of last %d)\n",
 		final.P50.Round(10*time.Microsecond), final.P95.Round(10*time.Microsecond), final.WindowLen)
 	if final.Cancelled > 0 || failed.Load() > 0 {
 		fmt.Printf("cancelled/failed: %d\n", final.Cancelled+failed.Load())
 	}
+	if *gpu {
+		fmt.Printf("gpu offload: threshold %d, %d queries (%.0f%% of queries, %.0f%% of work)\n",
+			final.GPUThreshold, final.GPUQueries, final.GPUQueryShare*100, final.GPUWorkShare*100)
+	}
 	if *autotune {
-		fmt.Printf("autotune: batch ended at %d after %d retunes\n", final.BatchSize, final.Retunes)
+		fmt.Printf("autotune: batch ended at %d", final.BatchSize)
+		if *gpu {
+			fmt.Printf(", threshold at %d", final.GPUThreshold)
+		}
+		fmt.Printf(" after %d retunes\n", final.Retunes)
 	}
 	if final.MeetsSLA() {
 		fmt.Printf("meets the %v p95 SLA\n", final.SLA)

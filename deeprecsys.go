@@ -31,11 +31,13 @@
 //     fail at construction.
 //
 //   - Service — a live concurrent server started with System.Serve: Submit
-//     real queries from any number of goroutines, and the service batches
-//     them across a CPU worker pool executing actual model forward passes,
-//     tracks the online p95 against the SLA, optionally retunes the batch
-//     size with a background DeepRecSched hill climb, and drains gracefully
-//     on Close.
+//     real queries from any number of goroutines, and the service routes
+//     queries above the offload threshold whole to a modeled accelerator
+//     lane (systems built WithGPU) and batches the rest across a CPU worker
+//     pool executing actual model forward passes, tracks the online p95
+//     against the SLA, optionally retunes both knobs — batch size and
+//     offload threshold — with a background DeepRecSched hill climb, and
+//     drains gracefully on Close.
 //
 // A System ties one recommendation model to one hardware platform:
 //

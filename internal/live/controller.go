@@ -1,35 +1,51 @@
 package live
 
-import "time"
+import (
+	"time"
 
-// Controller thresholds. The hold band keeps the batch size still while the
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// Controller thresholds. The hold band keeps the knobs still while the
 // measured tail sits comfortably under the target; the climb resumes only
 // when the tail drifts out of it.
 const (
 	// headroomFrac: below this fraction of the SLA the tail has enough
-	// slack to trade request-level parallelism back for batch efficiency.
+	// slack to trade request-level parallelism back for batch efficiency
+	// (and to pull offloaded work back onto the cores).
 	headroomFrac = 0.5
 	// minTuneSamples gates adjustments until the window carries enough
 	// fresh observations to estimate a p95 at all.
 	minTuneSamples = 32
+	// offThreshold represents "no offload" on the threshold ladder: one
+	// above the largest possible query. The walk leaves and re-enters
+	// offload through this rung, stored as 0 in the knob.
+	offThreshold = workload.MaxQuerySize + 1
 )
 
-// controller is the online analogue of DeepRecSched's batch-size hill climb
-// (paper Section IV-C): instead of probing candidate batch sizes against a
-// capacity-search oracle, it walks the same power-of-two ladder against the
-// *measured* p95 of live traffic. Per-request batch size trades batch-level
-// efficiency against request-level parallelism, so the measured tail rises
-// with the batch: the controller seeks the largest batch whose p95 holds
-// the SLA — stepping down when the tail breaches the target, stepping up
-// when it has ample headroom, and holding inside the band. After every move
-// the window is reset and one interval is skipped so the next decision
-// reads only samples produced at the new operating point.
+// controller is the online analogue of DeepRecSched's two-knob hill climb
+// (paper Section IV): instead of probing candidate operating points against
+// a capacity-search oracle, it walks the same power-of-two ladders — the
+// per-request batch size and, when the accelerator lane is present, the
+// query-size offload threshold — against the *measured* p95 of live
+// traffic. Per-request batch size trades batch-level efficiency against
+// request-level parallelism; the threshold trades CPU-pool load against
+// accelerator occupancy. The controller seeks the least aggressive
+// configuration whose p95 holds the SLA: when the tail breaches the target
+// it sheds load (finer batches, more of the heavy tail offloaded), and when
+// the tail has ample headroom it relaxes (coarser batches, offload walked
+// back toward the CPU). One knob moves per adjustment, in strict
+// alternation, so every window of samples is attributable to a single
+// change. After every move the window is reset and one interval is skipped
+// so the next decision reads only samples produced at the new operating
+// point — the same settle/reset discipline as the single-knob controller.
 func (s *Service) controller() {
 	defer close(s.ctrlDone)
 	ticker := time.NewTicker(s.cfg.TuneInterval)
 	defer ticker.Stop()
 	slaSec := s.cfg.SLA.Seconds()
 	settling := false
+	moveBatch := true // batch is the paper's primary knob; start there
 	for {
 		select {
 		case <-s.ctrlStop:
@@ -46,22 +62,91 @@ func (s *Service) controller() {
 			continue
 		}
 		p95 := s.win.Percentile(95)
-		cur := int(s.batch.Load())
-		next := cur
+		var dir int
 		switch {
-		case p95 > slaSec && cur > 1:
-			next = cur / 2 // tail breached: split finer for parallelism
-		case p95 < headroomFrac*slaSec && cur < MaxBatchSize:
-			next = cur * 2 // ample headroom: recover batch efficiency
-			if next > MaxBatchSize {
-				next = MaxBatchSize
+		case p95 > slaSec:
+			dir = -1 // tail breached: shed load
+		case p95 < headroomFrac*slaSec:
+			dir = +1 // ample headroom: recover efficiency
+		default:
+			continue // inside the band: hold
+		}
+		// Move the preferred knob; when it is already at its limit, give
+		// the other knob the turn instead of holding.
+		moved := false
+		for try := 0; try < 2 && !moved; try++ {
+			if moveBatch || s.acc == nil {
+				moved = s.stepBatch(dir)
+			} else {
+				moved = s.stepThreshold(dir)
+			}
+			if s.acc != nil {
+				moveBatch = !moveBatch
 			}
 		}
-		if next != cur {
-			s.batch.Store(int64(next))
+		if moved {
 			s.retunes.Add(1)
 			s.win.Reset()
 			settling = true
 		}
 	}
+}
+
+// stepBatch walks the batch-size knob one power-of-two rung: down for
+// request-level parallelism when the tail breached, up for batch efficiency
+// under headroom. It reports whether the knob moved.
+func (s *Service) stepBatch(dir int) bool {
+	cur := int(s.batch.Load())
+	next := cur
+	switch {
+	case dir < 0 && cur > 1:
+		next = cur / 2
+	case dir > 0 && cur < MaxBatchSize:
+		next = cur * 2
+		if next > MaxBatchSize {
+			next = MaxBatchSize
+		}
+	}
+	if next == cur {
+		return false
+	}
+	s.batch.Store(int64(next))
+	return true
+}
+
+// stepThreshold walks the offload knob one power-of-two rung. Under a
+// breached tail the heavy end of the size distribution moves to the
+// accelerator (threshold halves), relieving the loaded CPU pool — unless
+// the device's streams are already saturated, in which case offloading more
+// would only deepen the device queue and the step inverts, shifting work
+// back to the cores. With ample headroom the threshold rises: the CPU pool
+// reclaims the tail, walking toward "no offload" exactly as the paper's
+// climb raises the threshold while throughput holds. It reports whether the
+// knob moved. Callers guarantee the accelerator lane is present.
+func (s *Service) stepThreshold(dir int) bool {
+	cur := int(s.thresh.Load())
+	if cur == 0 {
+		cur = offThreshold
+	}
+	if dir < 0 && s.acc.saturated() {
+		dir = +1
+	}
+	next := cur
+	switch {
+	case dir < 0 && cur > 1:
+		next = cur / 2
+	case dir > 0 && cur <= workload.MaxQuerySize:
+		next = cur * 2
+		if next > workload.MaxQuerySize {
+			next = offThreshold
+		}
+	}
+	if next == cur {
+		return false
+	}
+	if next >= offThreshold {
+		next = 0 // off: no query can reach it
+	}
+	s.thresh.Store(int64(next))
+	return true
 }

@@ -1,0 +1,211 @@
+package live
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
+)
+
+// Executor is one execution lane of a live Service. The service routes each
+// accepted query to exactly one lane: the CPU pool splits it into
+// batch-sized requests executed as real forward passes, while the
+// accelerator lane takes it whole — the heterogeneous split DeepRecSched's
+// threshold knob controls. A lane owns the query from Enqueue until it
+// retires the last unit of work on the inflight tracker (closing iq.done);
+// cancellation is cooperative through the tracker's skip flag.
+type Executor interface {
+	// Enqueue admits one whole query of the given size to the lane. It
+	// blocks while the lane's admission is at capacity, honoring ctx: on
+	// cancellation it unwinds the query's outstanding work and returns
+	// ctx.Err(). On success the query's completion is signalled through
+	// iq.done.
+	Enqueue(ctx context.Context, iq *inflight, size int) error
+	// Close drains the lane: it returns only after every admitted query has
+	// retired. Callers must guarantee no Enqueue call is in flight.
+	Close()
+}
+
+// cpuPool is the CPU lane: a fixed worker pool executing batch-sized chunks
+// of each query as real model forward passes. The per-request batch size is
+// read per query from the service's shared knob, so controller retunes take
+// effect on the next submission.
+type cpuPool struct {
+	model *model.Model
+	batch *atomic.Int64 // the service's live batch-size knob
+	tasks chan chunk
+	wg    sync.WaitGroup
+}
+
+// newCPUPool starts the worker pool.
+func newCPUPool(m *model.Model, batch *atomic.Int64, workers, queueDepth int, seed int64) *cpuPool {
+	p := &cpuPool{model: m, batch: batch, tasks: make(chan chunk, queueDepth)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(rand.New(rand.NewSource(seed + int64(w))))
+	}
+	return p
+}
+
+// worker executes batch-sized chunks: a real forward pass over a fresh
+// random input of the chunk's size, then (when the query wants ranked
+// output) a per-chunk top-N selection merged at query completion.
+func (p *cpuPool) worker(rng *rand.Rand) {
+	defer p.wg.Done()
+	m := p.model
+	for c := range p.tasks {
+		if c.q.skip.Load() {
+			c.q.retire()
+			continue
+		}
+		in := m.NewInput(rng, c.size)
+		out := m.Forward(in)
+		if n := c.q.topN; n > 0 {
+			if n > c.size {
+				n = c.size
+			}
+			ranked := model.RankTopN(out, n)
+			for i := range ranked {
+				ranked[i].Item += c.base
+			}
+			c.q.mu.Lock()
+			c.q.recs = append(c.q.recs, ranked...)
+			c.q.mu.Unlock()
+		}
+		c.q.retire()
+	}
+}
+
+// Enqueue implements Executor: the query is split into batch-sized chunks
+// pushed onto the bounded task queue.
+func (p *cpuPool) Enqueue(ctx context.Context, iq *inflight, size int) error {
+	batch := int(p.batch.Load())
+	iq.batch = batch
+	nChunks := (size + batch - 1) / batch
+	iq.pending.Store(int32(nChunks))
+	base := 0
+	for i := 0; i < nChunks; i++ {
+		csize := batch
+		if rem := size - base; csize > rem {
+			csize = rem
+		}
+		select {
+		case p.tasks <- chunk{q: iq, base: base, size: csize}:
+			base += csize
+		case <-ctx.Done():
+			// Unsent chunks retire here; sent ones retire in workers,
+			// which skip their forward pass once the flag is up.
+			iq.skip.Store(true)
+			for j := i; j < nChunks; j++ {
+				iq.retire()
+			}
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Close implements Executor.
+func (p *cpuPool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// accelerator is the offload lane: a modeled GPU-class device that serves
+// whole queries (no batch splitting — the device's internal parallelism
+// plays the role request parallelism plays on the host) for the modeled
+// service time platform.GPU.QueryTime, with at most Streams queries in
+// flight. It is the live analogue of kickGPU in the offline simulator: the
+// device queue is unbounded, realized as one goroutine per admitted query
+// waiting on a stream slot, with Submit's completion wait providing the
+// backpressure.
+type accelerator struct {
+	model   *model.Model
+	gpu     *platform.GPU
+	profile model.Profile
+	slots   chan struct{} // one token per concurrent device stream
+	seq     atomic.Int64  // per-query seed stream for ranked offloads
+	seed    int64
+	wg      sync.WaitGroup
+}
+
+// newAccelerator builds the lane for one device model.
+func newAccelerator(m *model.Model, gpu *platform.GPU, seed int64) *accelerator {
+	streams := gpu.Streams
+	if streams < 1 {
+		streams = 1
+	}
+	return &accelerator{
+		model:   m,
+		gpu:     gpu,
+		profile: model.BuildProfile(m.Cfg),
+		slots:   make(chan struct{}, streams),
+		seed:    seed,
+	}
+}
+
+// Enqueue implements Executor. Admission never blocks — the device queue is
+// unbounded, like the simulator's gpuQueue — so the only cancellation
+// observable here is a context that is already done.
+func (a *accelerator) Enqueue(ctx context.Context, iq *inflight, size int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	iq.batch = size // offloaded whole: one device request of the full size
+	iq.pending.Store(1)
+	a.wg.Add(1)
+	go a.run(iq, size)
+	return nil
+}
+
+// run models one device-side query: it occupies a stream slot for the
+// modeled service time. When ranked output was requested the forward pass
+// runs host-side inside the slot — the model stands in for the device's
+// arithmetic — and the wait is padded up to the modeled time, so that
+// latency-only load (TopN 0, the capacity scenario) is a pure modeled wait
+// and ranked queries still return real recommendations.
+func (a *accelerator) run(iq *inflight, size int) {
+	defer a.wg.Done()
+	if iq.skip.Load() {
+		iq.retire() // cancelled while queued: take no slot at all
+		return
+	}
+	a.slots <- struct{}{} // wait for a free stream
+	defer func() { <-a.slots }()
+	if iq.skip.Load() {
+		iq.retire() // cancelled during the wait: consume no device time
+		return
+	}
+	service := a.gpu.QueryTime(a.profile, size)
+	start := time.Now()
+	if n := iq.topN; n > 0 {
+		rng := rand.New(rand.NewSource(a.seed + a.seq.Add(1)))
+		out := a.model.Forward(a.model.NewInput(rng, size))
+		if n > size {
+			n = size
+		}
+		iq.mu.Lock()
+		iq.recs = append(iq.recs, model.RankTopN(out, n)...)
+		iq.mu.Unlock()
+	}
+	if rem := service - time.Since(start); rem > 0 {
+		time.Sleep(rem)
+	}
+	iq.retire()
+}
+
+// saturated reports whether every device stream is currently occupied — the
+// controller's signal that lowering the threshold further would only deepen
+// the device queue, not add parallelism. Occupancy, not queued demand, is
+// the signal: cancelled queries waiting in the queue hold no stream and
+// will consume no device time, so they must not read as load.
+func (a *accelerator) saturated() bool {
+	return len(a.slots) == cap(a.slots)
+}
+
+// Close implements Executor.
+func (a *accelerator) Close() { a.wg.Wait() }

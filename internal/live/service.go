@@ -1,23 +1,26 @@
 // Package live is the online counterpart of the offline serving simulator:
 // a real concurrent recommendation server executing the paper's serving
 // loop (Fig. 8) on the host. Queries arrive via Submit from any number of
-// goroutines; a batching scheduler splits each query into batch-sized
-// requests dispatched to a CPU worker pool that runs actual model forward
-// passes; measured latencies feed a sliding-window tail estimator; and an
-// optional DeepRecSched-style controller retunes the batch size against the
-// measured p95 while the service runs.
+// goroutines; a scheduler routes each query to one of two executor lanes —
+// queries at or above the GPU threshold go whole to a modeled accelerator
+// lane bounded by the device's stream count, the rest are split into
+// batch-sized requests dispatched to a CPU worker pool running actual model
+// forward passes; measured latencies feed a sliding-window tail estimator;
+// and an optional DeepRecSched-style controller retunes both knobs — batch
+// size and offload threshold — against the measured p95 while the service
+// runs.
 //
 // The offline simulator answers "what would this policy sustain?"; this
 // package *is* the policy, serving live traffic. They share the model zoo,
-// the batching discipline, and the tail-latency objective, so a
-// configuration tuned offline can be deployed here unchanged.
+// the batching discipline, the accelerator performance model, and the
+// tail-latency objective, so a configuration tuned offline can be deployed
+// here unchanged.
 package live
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -25,6 +28,7 @@ import (
 	"time"
 
 	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/platform"
 	"github.com/deeprecinfra/deeprecsys/internal/stats"
 	"github.com/deeprecinfra/deeprecsys/internal/workload"
 )
@@ -48,12 +52,20 @@ type Config struct {
 	// BatchSize is the initial per-request batch size (default 256). The
 	// controller retunes it when AutoTune is set.
 	BatchSize int
+	// GPU provisions the modeled accelerator lane (nil = CPU-only):
+	// offloaded queries occupy one of its Streams slots for the modeled
+	// service time GPU.QueryTime. Routing is governed by GPUThreshold.
+	GPU *platform.GPU
+	// GPUThreshold routes queries of at least this size, whole, to the
+	// accelerator lane (0 = no offload). Setting it requires GPU. The
+	// controller walks this knob too when the lane is present.
+	GPUThreshold int
 	// SLA is the p95 tail-latency target reported by Stats and steered
 	// toward by the controller. Required when AutoTune is set.
 	SLA time.Duration
 	// AutoTune enables the background controller: a hill climb on the
-	// batch-size knob against the measured p95 (the online analogue of
-	// DeepRecSched's tuning loop).
+	// batch-size and offload-threshold knobs against the measured p95 (the
+	// online analogue of DeepRecSched's tuning loop).
 	AutoTune bool
 	// TuneInterval is the controller's adjustment period (default 250ms).
 	TuneInterval time.Duration
@@ -82,6 +94,12 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.BatchSize < 1 || cfg.BatchSize > MaxBatchSize {
 		return cfg, fmt.Errorf("live: batch size %d outside [1, %d]", cfg.BatchSize, MaxBatchSize)
+	}
+	if cfg.GPUThreshold < 0 || cfg.GPUThreshold > workload.MaxQuerySize {
+		return cfg, fmt.Errorf("live: GPU threshold %d outside [0, %d]", cfg.GPUThreshold, workload.MaxQuerySize)
+	}
+	if cfg.GPUThreshold > 0 && cfg.GPU == nil {
+		return cfg, errors.New("live: GPU threshold set without an accelerator (Config.GPU)")
 	}
 	if cfg.SLA < 0 {
 		return cfg, fmt.Errorf("live: negative SLA %v", cfg.SLA)
@@ -131,8 +149,11 @@ type Reply struct {
 	Recs []model.Ranked
 	// Latency is the measured end-to-end query latency.
 	Latency time.Duration
-	// BatchSize is the per-request batch size the query was split at.
+	// BatchSize is the per-request batch size the query was executed at:
+	// the split size on the CPU lane, the whole query size when offloaded.
 	BatchSize int
+	// Offloaded reports whether the accelerator lane served the query.
+	Offloaded bool
 }
 
 // Stats is an online snapshot of the service.
@@ -143,13 +164,24 @@ type Stats struct {
 	Cancelled uint64
 	// BatchSize is the current per-request batch size.
 	BatchSize int
+	// GPUThreshold is the current offload threshold (0 = no offload).
+	GPUThreshold int
+	// GPUQueries is the lifetime count of queries routed to the
+	// accelerator lane (counted at admission, like the simulator).
+	GPUQueries uint64
+	// GPUQueryShare is the fraction of admitted queries offloaded;
+	// GPUWorkShare is the fraction of candidate-item work offloaded — the
+	// live counterparts of the simulator's Fig. 14 series.
+	GPUQueryShare float64
+	GPUWorkShare  float64
 	// P50 / P95 are the windowed online latency percentiles.
 	P50, P95 time.Duration
 	// WindowLen is the number of samples behind the percentiles.
 	WindowLen int
 	// SLA echoes the configured target (0 = none).
 	SLA time.Duration
-	// Retunes counts batch-size changes made by the controller.
+	// Retunes counts knob changes (batch size or offload threshold) made
+	// by the controller.
 	Retunes uint64
 }
 
@@ -159,25 +191,27 @@ func (s Stats) MeetsSLA() bool {
 	return s.SLA > 0 && s.WindowLen > 0 && s.P95 <= s.SLA
 }
 
-// inflight tracks one submitted query across its batch-sized chunks.
+// inflight tracks one submitted query across its units of work: batch-sized
+// chunks on the CPU lane, a single whole-query request when offloaded.
 type inflight struct {
 	topN    int
-	pending atomic.Int32 // outstanding chunks; closing done at zero
-	skip    atomic.Bool  // cancelled: workers drop remaining work
+	batch   int          // execution granularity, set by the serving lane
+	pending atomic.Int32 // outstanding units; closing done at zero
+	skip    atomic.Bool  // cancelled: lanes drop remaining work
 	done    chan struct{}
 
 	mu   sync.Mutex
-	recs []model.Ranked // per-chunk top-N candidates, merged at completion
+	recs []model.Ranked // per-unit top-N candidates, merged at completion
 }
 
-// retire marks one chunk finished, closing done on the last.
+// retire marks one unit finished, closing done on the last.
 func (q *inflight) retire() {
 	if q.pending.Add(-1) == 0 {
 		close(q.done)
 	}
 }
 
-// chunk is one batch-sized slice of a query awaiting a worker.
+// chunk is one batch-sized slice of a query awaiting a CPU worker.
 type chunk struct {
 	q    *inflight
 	base int // global index of the chunk's first candidate
@@ -187,15 +221,16 @@ type chunk struct {
 // Service is a live concurrent recommendation server. Create one with New,
 // submit queries from any number of goroutines, and Close it to drain.
 type Service struct {
-	cfg   Config
-	tasks chan chunk
-	batch atomic.Int64
-	win   *stats.Window
+	cfg    Config
+	cpu    *cpuPool
+	acc    *accelerator // nil = CPU-only
+	batch  atomic.Int64
+	thresh atomic.Int64 // offload threshold; 0 = no offload
+	win    *stats.Window
 
 	mu       sync.Mutex
 	closed   bool
 	inFlight sync.WaitGroup // open Submit calls
-	workers  sync.WaitGroup
 
 	ctrlStop chan struct{}
 	ctrlDone chan struct{}
@@ -204,9 +239,14 @@ type Service struct {
 	completed atomic.Uint64
 	cancelled atomic.Uint64
 	retunes   atomic.Uint64
+
+	gpuQueries atomic.Uint64
+	cpuQueries atomic.Uint64
+	gpuItems   atomic.Uint64
+	cpuItems   atomic.Uint64
 }
 
-// New starts the worker pool (and the controller when configured) and
+// New starts the executor lanes (and the controller when configured) and
 // returns a running Service.
 func New(cfg Config) (*Service, error) {
 	cfg, err := cfg.withDefaults()
@@ -214,14 +254,14 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{
-		cfg:   cfg,
-		tasks: make(chan chunk, cfg.QueueDepth),
-		win:   stats.NewWindow(cfg.WindowSize),
+		cfg: cfg,
+		win: stats.NewWindow(cfg.WindowSize),
 	}
 	s.batch.Store(int64(cfg.BatchSize))
-	s.workers.Add(cfg.Workers)
-	for w := 0; w < cfg.Workers; w++ {
-		go s.worker(rand.New(rand.NewSource(cfg.Seed + int64(w))))
+	s.thresh.Store(int64(cfg.GPUThreshold))
+	s.cpu = newCPUPool(cfg.Model, &s.batch, cfg.Workers, cfg.QueueDepth, cfg.Seed)
+	if cfg.GPU != nil {
+		s.acc = newAccelerator(cfg.Model, cfg.GPU, cfg.Seed)
 	}
 	if cfg.AutoTune {
 		s.ctrlStop = make(chan struct{})
@@ -231,39 +271,11 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
-// worker executes batch-sized chunks: a real forward pass over a fresh
-// random input of the chunk's size, then (when the query wants ranked
-// output) a per-chunk top-N selection merged at query completion.
-func (s *Service) worker(rng *rand.Rand) {
-	defer s.workers.Done()
-	m := s.cfg.Model
-	for c := range s.tasks {
-		if c.q.skip.Load() {
-			c.q.retire()
-			continue
-		}
-		in := m.NewInput(rng, c.size)
-		out := m.Forward(in)
-		if n := c.q.topN; n > 0 {
-			if n > c.size {
-				n = c.size
-			}
-			ranked := model.RankTopN(out, n)
-			for i := range ranked {
-				ranked[i].Item += c.base
-			}
-			c.q.mu.Lock()
-			c.q.recs = append(c.q.recs, ranked...)
-			c.q.mu.Unlock()
-		}
-		c.q.retire()
-	}
-}
-
-// Submit serves one query: it is split into batch-sized requests executed
-// by the worker pool, and blocks until the last request completes, the
-// context is cancelled, or the service closes. Submit is safe for
-// concurrent use from any number of goroutines.
+// Submit serves one query: queries at or above the offload threshold go
+// whole to the accelerator lane, the rest are split into batch-sized
+// requests executed by the CPU worker pool. Submit blocks until the query
+// completes, the context is cancelled, or the service closes. It is safe
+// for concurrent use from any number of goroutines.
 func (s *Service) Submit(ctx context.Context, q Query) (Reply, error) {
 	if q.Candidates < 1 || q.Candidates > workload.MaxQuerySize {
 		return Reply{}, fmt.Errorf("live: candidates %d outside [1, %d]", q.Candidates, workload.MaxQuerySize)
@@ -281,50 +293,57 @@ func (s *Service) Submit(ctx context.Context, q Query) (Reply, error) {
 	defer s.inFlight.Done()
 	s.submitted.Add(1)
 
-	batch := int(s.batch.Load())
-	nChunks := (q.Candidates + batch - 1) / batch
 	iq := &inflight{topN: q.TopN, done: make(chan struct{})}
-	iq.pending.Store(int32(nChunks))
-
-	start := time.Now()
-	base := 0
-	for i := 0; i < nChunks; i++ {
-		size := batch
-		if rem := q.Candidates - base; size > rem {
-			size = rem
-		}
-		select {
-		case s.tasks <- chunk{q: iq, base: base, size: size}:
-			base += size
-		case <-ctx.Done():
-			// Unsent chunks retire here; sent ones retire in workers,
-			// which skip their forward pass once the flag is up.
-			iq.skip.Store(true)
-			for j := i; j < nChunks; j++ {
-				iq.retire()
-			}
-			s.cancelled.Add(1)
-			return Reply{}, ctx.Err()
-		}
+	lane := Executor(s.cpu)
+	thr := int(s.thresh.Load())
+	offloaded := s.acc != nil && thr > 0 && q.Candidates >= thr
+	if offloaded {
+		lane = s.acc
+		s.gpuQueries.Add(1)
+		s.gpuItems.Add(uint64(q.Candidates))
+	} else {
+		s.cpuQueries.Add(1)
+		s.cpuItems.Add(uint64(q.Candidates))
 	}
 
-	select {
-	case <-iq.done:
-	case <-ctx.Done():
-		iq.skip.Store(true)
+	start := time.Now()
+	if err := lane.Enqueue(ctx, iq, q.Candidates); err != nil {
 		s.cancelled.Add(1)
-		return Reply{}, ctx.Err()
+		return Reply{}, err
+	}
+	if err := s.awaitQuery(ctx, iq); err != nil {
+		s.cancelled.Add(1)
+		return Reply{}, err
 	}
 
 	latency := time.Since(start)
 	s.win.Add(latency.Seconds())
 	s.completed.Add(1)
 
-	reply := Reply{Latency: latency, BatchSize: batch}
+	reply := Reply{Latency: latency, BatchSize: iq.batch, Offloaded: offloaded}
 	if q.TopN > 0 {
 		reply.Recs = mergeTopN(iq.recs, q.TopN)
 	}
 	return reply, nil
+}
+
+// awaitQuery blocks until the query completes or ctx is cancelled. When
+// both are ready the completion wins: the work was fully executed, so
+// reporting it cancelled would drop a real latency sample from the window
+// and skew the Completed/Cancelled accounting.
+func (s *Service) awaitQuery(ctx context.Context, iq *inflight) error {
+	select {
+	case <-iq.done:
+		return nil
+	case <-ctx.Done():
+		select {
+		case <-iq.done:
+			return nil // completed concurrently with the cancellation
+		default:
+		}
+		iq.skip.Store(true)
+		return ctx.Err()
+	}
 }
 
 // mergeTopN merges the per-chunk candidate lists into the global top-n.
@@ -356,24 +375,50 @@ func (s *Service) SetBatchSize(b int) error {
 	return nil
 }
 
+// GPUThreshold returns the current offload threshold (0 = no offload).
+func (s *Service) GPUThreshold() int { return int(s.thresh.Load()) }
+
+// SetGPUThreshold retunes the offload threshold for subsequent queries
+// (manual counterpart of the AutoTune threshold walk). 0 disables offload.
+func (s *Service) SetGPUThreshold(thr int) error {
+	if s.acc == nil {
+		return errors.New("live: no accelerator lane (Config.GPU unset)")
+	}
+	if thr < 0 || thr > workload.MaxQuerySize {
+		return fmt.Errorf("live: GPU threshold %d outside [0, %d]", thr, workload.MaxQuerySize)
+	}
+	s.thresh.Store(int64(thr))
+	return nil
+}
+
 // Stats returns an online snapshot.
 func (s *Service) Stats() Stats {
 	sum := s.win.Summary()
-	return Stats{
-		Submitted: s.submitted.Load(),
-		Completed: s.completed.Load(),
-		Cancelled: s.cancelled.Load(),
-		BatchSize: s.BatchSize(),
-		P50:       time.Duration(sum.P50 * float64(time.Second)),
-		P95:       time.Duration(sum.P95 * float64(time.Second)),
-		WindowLen: sum.Count,
-		SLA:       s.cfg.SLA,
-		Retunes:   s.retunes.Load(),
+	st := Stats{
+		Submitted:    s.submitted.Load(),
+		Completed:    s.completed.Load(),
+		Cancelled:    s.cancelled.Load(),
+		BatchSize:    s.BatchSize(),
+		GPUThreshold: s.GPUThreshold(),
+		GPUQueries:   s.gpuQueries.Load(),
+		P50:          time.Duration(sum.P50 * float64(time.Second)),
+		P95:          time.Duration(sum.P95 * float64(time.Second)),
+		WindowLen:    sum.Count,
+		SLA:          s.cfg.SLA,
+		Retunes:      s.retunes.Load(),
 	}
+	if total := st.GPUQueries + s.cpuQueries.Load(); total > 0 {
+		st.GPUQueryShare = float64(st.GPUQueries) / float64(total)
+	}
+	gpuItems := s.gpuItems.Load()
+	if items := gpuItems + s.cpuItems.Load(); items > 0 {
+		st.GPUWorkShare = float64(gpuItems) / float64(items)
+	}
+	return st
 }
 
 // Close stops accepting queries, waits for every in-flight query to
-// complete, and shuts down the worker pool and controller. Close is
+// complete, and shuts down the executor lanes and controller. Close is
 // idempotent; concurrent Submit calls either finish normally or observe
 // ErrClosed.
 func (s *Service) Close() error {
@@ -385,9 +430,11 @@ func (s *Service) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 
-	s.inFlight.Wait() // all Submits returned: no more sends on tasks
-	close(s.tasks)
-	s.workers.Wait()
+	s.inFlight.Wait() // all Submits returned: no more lane admissions
+	s.cpu.Close()
+	if s.acc != nil {
+		s.acc.Close()
+	}
 	if s.ctrlStop != nil {
 		close(s.ctrlStop)
 		<-s.ctrlDone

@@ -140,14 +140,17 @@ type server struct {
 	batchStride int
 
 	// Completion arming. A single pre-bound event closure is scheduled for
-	// the soonest-finishing request; armedFire identifies the live event
-	// (stale heap entries fail the time check). runningDirty marks that
-	// membership of the running set changed since the last arming — while
-	// it is clean the armed event is still exact, because progress rates
-	// only change when the active-core count does, so saturated-queue
-	// arrivals skip both the rescan and the event churn.
+	// the soonest-finishing request; armedSeq records the sim sequence
+	// number of the live event, so stale heap entries — armed before a
+	// later membership change — fail the identity check even when they were
+	// scheduled for the identical virtual timestamp (a fire-time comparison
+	// cannot tell those apart). runningDirty marks that membership of the
+	// running set changed since the last arming — while it is clean the
+	// armed event is still exact, because progress rates only change when
+	// the active-core count does, so saturated-queue arrivals skip both the
+	// rescan and the event churn.
 	armed        bool
-	armedFire    time.Duration
+	armedSeq     int64
 	runningDirty bool
 	completeFn   func()
 
@@ -196,7 +199,10 @@ func Run(e Engine, cfg Config, queries []workload.Query) Result {
 		Measured:       s.measured,
 		Duration:       s.lastFinish,
 	}
-	if span := queries[len(queries)-1].Arrival; span > 0 {
+	// The offered rate is inter-arrival based: last minus first arrival,
+	// not last alone — a recorded trace preserves absolute offsets, so a
+	// stream captured mid-day starts nowhere near t=0.
+	if span := queries[len(queries)-1].Arrival - queries[0].Arrival; span > 0 {
 		res.OfferedQPS = float64(len(queries)-1) / span.Seconds()
 	}
 	if s.lastFinish > 0 {
@@ -248,7 +254,7 @@ func (s *server) reset(e Engine, cfg Config, queries []workload.Query) {
 	}
 
 	s.armed = false
-	s.armedFire = 0
+	s.armedSeq = 0
 	s.runningDirty = false
 
 	if cap(s.querySlab) < len(queries) {
@@ -351,8 +357,8 @@ func (s *server) scheduleNextCompletion() {
 		soonest = 0
 	}
 	s.armed = true
-	s.armedFire = s.sim.Now() + time.Duration(soonest*float64(time.Second)) + 1
-	s.sim.At(s.armedFire, s.completeFn)
+	fire := s.sim.Now() + time.Duration(soonest*float64(time.Second)) + 1
+	s.armedSeq = s.sim.At(fire, s.completeFn)
 }
 
 // arrive admits one query: offload whole to the accelerator above the
@@ -400,10 +406,11 @@ func (s *server) dispatch() {
 
 // completeCPU retires every finished request, refills cores from the queue,
 // and re-arms the completion event. Stale heap entries — armed before a
-// later membership change — fail the armedFire identity check and fall
-// through.
+// later membership change — fail the armedSeq identity check and fall
+// through, even when the superseding arming landed on the identical virtual
+// timestamp.
 func (s *server) completeCPU() {
-	if !s.armed || s.sim.Now() != s.armedFire {
+	if !s.armed || s.sim.FiringSeq() != s.armedSeq {
 		return // superseded by a later state change
 	}
 	s.armed = false

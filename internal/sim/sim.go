@@ -33,10 +33,11 @@ func (e event) before(o event) bool {
 // events per capacity search, and container/heap's interface{} boxing costs
 // one allocation per push.
 type Sim struct {
-	now   time.Duration
-	queue []event // binary min-heap ordered by event.before
-	seq   int64
-	fired int64
+	now    time.Duration
+	queue  []event // binary min-heap ordered by event.before
+	seq    int64
+	fired  int64
+	firing int64 // seq of the event currently executing (0 = none)
 }
 
 // New returns an empty simulation with the clock at zero.
@@ -52,6 +53,7 @@ func (s *Sim) Reset() {
 	s.queue = s.queue[:0]
 	s.seq = 0
 	s.fired = 0
+	s.firing = 0
 }
 
 // Now returns the current virtual time.
@@ -60,25 +62,37 @@ func (s *Sim) Now() time.Duration { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Sim) Fired() int64 { return s.fired }
 
-// At schedules fn at absolute virtual time t. Scheduling in the past is a
-// logic error and panics: a causality violation in a latency simulation
-// silently corrupts every downstream percentile.
-func (s *Sim) At(t time.Duration, fn func()) {
+// At schedules fn at absolute virtual time t and returns the event's unique
+// sequence number. Two events scheduled for the identical timestamp carry
+// distinct sequence numbers, so a caller that re-arms a single logical event
+// can tell a live heap entry from a superseded one by comparing the returned
+// value against FiringSeq inside the callback — a timestamp alone cannot.
+// Scheduling in the past is a logic error and panics: a causality violation
+// in a latency simulation silently corrupts every downstream percentile.
+func (s *Sim) At(t time.Duration, fn func()) int64 {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
 	s.queue = append(s.queue, event{at: t, seq: s.seq, fn: fn})
 	s.siftUp(len(s.queue) - 1)
+	return s.seq
 }
 
-// After schedules fn d after the current virtual time.
-func (s *Sim) After(d time.Duration, fn func()) {
+// After schedules fn d after the current virtual time and returns the
+// event's sequence number (see At).
+func (s *Sim) After(d time.Duration, fn func()) int64 {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	s.At(s.now+d, fn)
+	return s.At(s.now+d, fn)
 }
+
+// FiringSeq returns the sequence number of the event currently executing,
+// or 0 outside any callback. It is the identity check for re-armed events:
+// a callback observing FiringSeq different from the latest At return value
+// knows it is a stale heap entry.
+func (s *Sim) FiringSeq() int64 { return s.firing }
 
 // Run executes events until the queue is empty.
 func (s *Sim) Run() {
@@ -110,7 +124,9 @@ func (s *Sim) step() {
 	}
 	s.now = e.at
 	s.fired++
+	s.firing = e.seq
 	e.fn()
+	s.firing = 0
 }
 
 // siftUp restores the heap property from leaf i toward the root.

@@ -216,3 +216,40 @@ func TestCascadingEvents(t *testing.T) {
 		t.Errorf("final time %v, want 99ms", s.Now())
 	}
 }
+
+func TestEventSeqIdentity(t *testing.T) {
+	// At returns a unique sequence number per event — including for two
+	// events scheduled at the identical timestamp — and FiringSeq exposes
+	// the executing event's number, so a re-armed logical event can tell a
+	// live heap entry from a superseded one where a fire-time comparison
+	// cannot.
+	s := New()
+	var fired []int64
+	record := func() { fired = append(fired, s.FiringSeq()) }
+	a := s.At(time.Millisecond, record)
+	b := s.At(time.Millisecond, record) // same instant, distinct identity
+	c := s.After(2*time.Millisecond, record)
+	if a == b || b == c {
+		t.Fatalf("sequence numbers not unique: %d, %d, %d", a, b, c)
+	}
+	if got := s.FiringSeq(); got != 0 {
+		t.Errorf("FiringSeq outside callbacks = %d, want 0", got)
+	}
+	s.Run()
+	if len(fired) != 3 || fired[0] != a || fired[1] != b || fired[2] != c {
+		t.Errorf("FiringSeq inside callbacks = %v, want [%d %d %d]", fired, a, b, c)
+	}
+	if got := s.FiringSeq(); got != 0 {
+		t.Errorf("FiringSeq after Run = %d, want 0", got)
+	}
+}
+
+func TestResetClearsFiringSeq(t *testing.T) {
+	s := New()
+	s.At(0, func() {})
+	s.Run()
+	s.Reset()
+	if got := s.At(0, func() {}); got != 1 {
+		t.Errorf("first seq after Reset = %d, want 1", got)
+	}
+}

@@ -92,8 +92,8 @@ type Production struct {
 
 // DefaultProduction returns the production-representative distribution used
 // throughout the experiments: mean ≈ 130 items, p75 ≈ 130, max 1000, with
-// ~25% of queries from the heavy tail — matching the qualitative shape of
-// the paper's Fig. 5.
+// ~20% of queries from the heavy tail (TailWeight 0.20) — matching the
+// qualitative shape of the paper's Fig. 5.
 func DefaultProduction() Production {
 	return Production{
 		BodyMu:     math.Log(50),

@@ -2,6 +2,7 @@ package deeprecsys
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"github.com/deeprecinfra/deeprecsys/internal/live"
@@ -19,10 +20,17 @@ type ServeOptions struct {
 	// BatchSize is the initial per-request batch size; queries are split
 	// into batch-sized requests executed in parallel by the worker pool.
 	BatchSize int
+	// GPUThreshold is the initial accelerator offload threshold: queries
+	// of at least this many candidates are served whole by the system's
+	// modeled accelerator lane (0 = no offload). Setting it requires a
+	// system built WithGPU; the AutoTune controller walks this knob too
+	// when an accelerator is provisioned.
+	GPUThreshold int
 	// SLA overrides the model's published p95 target.
 	SLA time.Duration
 	// AutoTune runs the DeepRecSched hill climb online: a background
-	// controller retunes the batch size against the measured p95.
+	// controller retunes the batch size — and, when an accelerator is
+	// provisioned, the offload threshold — against the measured p95.
 	AutoTune bool
 	// TuneInterval is the controller's adjustment period (default 250ms).
 	TuneInterval time.Duration
@@ -34,9 +42,11 @@ type ServeOptions struct {
 
 // Service is a live concurrent recommendation server for one System: the
 // online counterpart of the offline Tune/Capacity simulator. Submit real
-// queries from any number of goroutines; the service batches them across a
-// CPU worker pool running actual model forward passes, tracks the online
-// p95 against the SLA, and drains gracefully on Close.
+// queries from any number of goroutines; the service routes queries above
+// the offload threshold to a modeled accelerator lane (when the system has
+// one) and batches the rest across a CPU worker pool running actual model
+// forward passes, tracks the online p95 against the SLA, and drains
+// gracefully on Close.
 type Service struct {
 	inner *live.Service
 	model string
@@ -44,11 +54,20 @@ type Service struct {
 
 // Serve starts a live Service for the system's model. The system's cached
 // model instance backs the worker pool, so a Service shares weights with
-// Recommend and the real-execution engine.
+// Recommend and the real-execution engine. A system built WithGPU serves
+// with the accelerator offload lane enabled, backed by the same analytical
+// device model as the offline simulator.
 func (s *System) Serve(opts ServeOptions) (*Service, error) {
 	m, err := s.modelInstance()
 	if err != nil {
 		return nil, err
+	}
+	gpu, err := s.serveAccelerator()
+	if err != nil {
+		return nil, err
+	}
+	if opts.GPUThreshold > 0 && gpu == nil {
+		return nil, fmt.Errorf("deeprecsys: offload threshold %d set but no accelerator provisioned (use WithGPU)", opts.GPUThreshold)
 	}
 	sla := opts.SLA
 	if sla == 0 {
@@ -58,6 +77,8 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 		Model:        m,
 		Workers:      opts.Workers,
 		BatchSize:    opts.BatchSize,
+		GPU:          gpu,
+		GPUThreshold: opts.GPUThreshold,
 		SLA:          sla,
 		AutoTune:     opts.AutoTune,
 		TuneInterval: opts.TuneInterval,
@@ -77,8 +98,11 @@ type Reply struct {
 	Recs []Recommendation
 	// Latency is the measured end-to-end latency of the query.
 	Latency time.Duration
-	// BatchSize is the per-request batch size the query was split at.
+	// BatchSize is the per-request batch size the query was executed at:
+	// the split size on the CPU pool, the whole query size when offloaded.
 	BatchSize int
+	// Offloaded reports whether the accelerator lane served the query.
+	Offloaded bool
 }
 
 // Submit serves one live query: rank `candidates` items and return the
@@ -90,7 +114,7 @@ func (s *Service) Submit(ctx context.Context, candidates, topN int) (Reply, erro
 	if err != nil {
 		return Reply{}, err
 	}
-	reply := Reply{Latency: r.Latency, BatchSize: r.BatchSize}
+	reply := Reply{Latency: r.Latency, BatchSize: r.BatchSize, Offloaded: r.Offloaded}
 	if topN > 0 {
 		reply.Recs = make([]Recommendation, len(r.Recs))
 		for i, rec := range r.Recs {
@@ -108,13 +132,22 @@ type ServiceStats struct {
 	Submitted, Completed, Cancelled uint64
 	// BatchSize is the current per-request batch size.
 	BatchSize int
+	// GPUThreshold is the current offload threshold (0 = no offload).
+	GPUThreshold int
+	// GPUQueries counts queries routed to the accelerator lane.
+	GPUQueries uint64
+	// GPUQueryShare is the fraction of admitted queries offloaded;
+	// GPUWorkShare is the fraction of candidate-item work offloaded — the
+	// live counterparts of the simulator's Fig. 14 series.
+	GPUQueryShare, GPUWorkShare float64
 	// P50 / P95 are the windowed online latency percentiles.
 	P50, P95 time.Duration
 	// WindowLen is the number of samples behind the percentiles.
 	WindowLen int
 	// SLA is the target the service reports against.
 	SLA time.Duration
-	// Retunes counts batch-size changes made by the AutoTune controller.
+	// Retunes counts knob changes (batch size or offload threshold) made
+	// by the AutoTune controller.
 	Retunes uint64
 }
 
@@ -127,16 +160,20 @@ func (st ServiceStats) MeetsSLA() bool {
 func (s *Service) Stats() ServiceStats {
 	st := s.inner.Stats()
 	return ServiceStats{
-		Model:     s.model,
-		Submitted: st.Submitted,
-		Completed: st.Completed,
-		Cancelled: st.Cancelled,
-		BatchSize: st.BatchSize,
-		P50:       st.P50,
-		P95:       st.P95,
-		WindowLen: st.WindowLen,
-		SLA:       st.SLA,
-		Retunes:   st.Retunes,
+		Model:         s.model,
+		Submitted:     st.Submitted,
+		Completed:     st.Completed,
+		Cancelled:     st.Cancelled,
+		BatchSize:     st.BatchSize,
+		GPUThreshold:  st.GPUThreshold,
+		GPUQueries:    st.GPUQueries,
+		GPUQueryShare: st.GPUQueryShare,
+		GPUWorkShare:  st.GPUWorkShare,
+		P50:           st.P50,
+		P95:           st.P95,
+		WindowLen:     st.WindowLen,
+		SLA:           st.SLA,
+		Retunes:       st.Retunes,
 	}
 }
 
@@ -146,6 +183,15 @@ func (s *Service) BatchSize() int { return s.inner.BatchSize() }
 // SetBatchSize retunes the batch size for subsequent queries (the manual
 // counterpart of AutoTune).
 func (s *Service) SetBatchSize(b int) error { return s.inner.SetBatchSize(b) }
+
+// GPUThreshold returns the current offload threshold (0 = no offload).
+func (s *Service) GPUThreshold() int { return s.inner.GPUThreshold() }
+
+// SetGPUThreshold retunes the accelerator offload threshold for subsequent
+// queries (the manual counterpart of the AutoTune threshold walk): queries
+// of at least thr candidates are served whole by the accelerator lane; 0
+// disables offload. It fails on a service without an accelerator.
+func (s *Service) SetGPUThreshold(thr int) error { return s.inner.SetGPUThreshold(thr) }
 
 // Close stops accepting queries, drains every in-flight query, and shuts
 // the worker pool down. Close is idempotent.
