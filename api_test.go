@@ -318,3 +318,134 @@ func TestServeGPUValidation(t *testing.T) {
 		t.Error("SetGPUThreshold accepted on a CPU-only service")
 	}
 }
+
+// TestServeFleet exercises the fleet tier through the public surface: a
+// two-replica least-loaded fleet serves concurrent traffic, reports
+// fleet-wide and per-replica stats, and changes membership under load.
+func TestServeFleet(t *testing.T) {
+	sys, err := deeprecsys.NewSystem("NCF", "skylake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := sys.Serve(deeprecsys.ServeOptions{
+		Workers:       1,
+		BatchSize:     16,
+		Replicas:      2,
+		RoutingPolicy: "least-loaded",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				reply, err := svc.Submit(context.Background(), 40, 3)
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				if len(reply.Recs) != 3 || reply.Latency <= 0 {
+					t.Errorf("reply = %+v", reply)
+				}
+				if reply.Replica < 0 || reply.Replica > 1 {
+					t.Errorf("reply.Replica = %d, want 0 or 1", reply.Replica)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := svc.Stats()
+	if st.Model != "NCF" || st.Completed != 20 || st.WindowLen != 20 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Replicas != 2 || st.RoutingPolicy != "least-loaded" || len(st.PerReplica) != 2 {
+		t.Errorf("fleet stats = %+v, want 2 replicas under least-loaded", st)
+	}
+	var perReplica uint64
+	for _, r := range st.PerReplica {
+		perReplica += r.Completed
+	}
+	if perReplica != st.Completed {
+		t.Errorf("per-replica Completed sums to %d, fleet reports %d", perReplica, st.Completed)
+	}
+	if st.SLA != sys.SLA() {
+		t.Errorf("fleet SLA %v != model SLA %v", st.SLA, sys.SLA())
+	}
+
+	// Membership under the public surface: add, drain, remove.
+	id, err := svc.AddReplica(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("AddReplica ID %d, want 2", id)
+	}
+	if err := svc.DrainReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RemoveReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	st = svc.Stats()
+	if st.Replicas != 2 || st.Completed != 20 {
+		t.Errorf("after churn: %d replicas, %d completed, want 2 and 20 (retired counts kept)", st.Replicas, st.Completed)
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(context.Background(), 4, 1); !errors.Is(err, deeprecsys.ErrServiceClosed) {
+		t.Errorf("post-Close Submit = %v", err)
+	}
+}
+
+// TestServeFleetValidation pins the fleet-tier construction checks and the
+// single-replica behavior of the membership methods.
+func TestServeFleetValidation(t *testing.T) {
+	sys, err := deeprecsys.NewSystem("NCF", "skylake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []deeprecsys.ServeOptions{
+		{Replicas: -1},
+		{Replicas: 2, RoutingPolicy: "nope"},
+		{RoutingPolicy: "nope"}, // fleet options fail at any replica count
+		{Jitter: -0.1},
+		{GPUReplicas: -1},
+		{GPUReplicas: 1}, // needs WithGPU
+		{Replicas: 2, Jitter: -0.1},
+		{Replicas: 2, GPUReplicas: 3},
+		{Replicas: 2, GPUReplicas: 1}, // needs WithGPU
+	}
+	for i, opts := range bad {
+		opts.Workers = 1
+		if svc, err := sys.Serve(opts); err == nil {
+			svc.Close()
+			t.Errorf("bad fleet options %d accepted: %+v", i, opts)
+		}
+	}
+
+	single, err := sys.Serve(deeprecsys.ServeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if _, err := single.AddReplica(false); !errors.Is(err, deeprecsys.ErrNotFleet) {
+		t.Errorf("AddReplica on single service: %v, want ErrNotFleet", err)
+	}
+	if err := single.DrainReplica(0); !errors.Is(err, deeprecsys.ErrNotFleet) {
+		t.Errorf("DrainReplica on single service: %v, want ErrNotFleet", err)
+	}
+	if err := single.RemoveReplica(0); !errors.Is(err, deeprecsys.ErrNotFleet) {
+		t.Errorf("RemoveReplica on single service: %v, want ErrNotFleet", err)
+	}
+	if st := single.Stats(); st.Replicas != 1 || st.PerReplica != nil || st.RoutingPolicy != "" {
+		t.Errorf("single-service stats carry fleet fields: %+v", st)
+	}
+}

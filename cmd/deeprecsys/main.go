@@ -11,9 +11,10 @@
 //	deeprecsys serve -model NCF -rate 300 -n 2000 -autotune
 //	loadgen -rate 200 -n 500 | deeprecsys serve -model NCF -trace - -topn 5
 //
-// By default experiments run at quick fidelity; -full uses the fidelity
-// recorded in EXPERIMENTS.md (slower: the headline fig11 sweep tunes three
-// schedulers for eight models at three SLA targets). The serve subcommand
+// By default experiments run at quick fidelity (the runs recorded in
+// EXPERIMENTS.md); -full tightens the percentile estimates (slower: the
+// headline fig11 sweep tunes three schedulers for eight models at three
+// SLA targets). The serve subcommand
 // starts a live concurrent Service executing real forward passes and
 // reports the online p95 against the model's SLA (see -help on serve).
 package main

@@ -27,7 +27,11 @@ func serveMain(args []string) {
 	gpu := fs.Bool("gpu", false, "provision the modeled accelerator offload lane")
 	threshold := fs.Int("threshold", 0, "initial offload threshold: queries >= this size go whole to the accelerator (0 = no offload; needs -gpu)")
 	sla := fs.Duration("sla", 0, "p95 target (0 = the model's published SLA)")
-	autotune := fs.Bool("autotune", false, "retune the knobs online against the measured p95 (batch size, and offload threshold with -gpu)")
+	autotune := fs.Bool("autotune", false, "retune the knobs online against the measured p95 (batch size, and offload threshold with -gpu; per replica with -replicas)")
+	replicas := fs.Int("replicas", 1, "fleet size: shard traffic across this many replica services (1 = single service)")
+	policy := fs.String("policy", "round-robin", "fleet routing policy: round-robin, least-loaded, or size-aware[:<n>] (needs -replicas >= 2)")
+	jitter := fs.Float64("jitter", 0, "per-replica service-time jitter: speed factors drawn from N(1, jitter^2), the offline fleet simulator's node model")
+	gpuReplicas := fs.Int("gpu-replicas", 0, "provision the accelerator on only the first n replicas (0 = all; needs -gpu)")
 	topn := fs.Int("topn", 0, "ranked items to return per query (0 = latency only)")
 	tracePath := fs.String("trace", "", "replay a loadgen CSV trace ('-' = stdin)")
 	wl := fs.String("workload", "production", "workload spec to generate the drive stream (ignored with -trace)")
@@ -53,6 +57,14 @@ func serveMain(args []string) {
 		fmt.Fprintln(os.Stderr, "serve: -threshold needs -gpu")
 		os.Exit(2)
 	}
+	if *gpuReplicas > 0 && !*gpu {
+		fmt.Fprintln(os.Stderr, "serve: -gpu-replicas needs -gpu")
+		os.Exit(2)
+	}
+	if *replicas < 2 && (*jitter != 0 || *gpuReplicas != 0 || *policy != "round-robin") {
+		fmt.Fprintln(os.Stderr, "serve: -policy, -jitter, and -gpu-replicas need -replicas >= 2")
+		os.Exit(2)
+	}
 	sysOpts := []deeprecsys.Option{deeprecsys.WithSeed(*seed)}
 	if *gpu {
 		sysOpts = append(sysOpts, deeprecsys.WithGPU())
@@ -63,11 +75,15 @@ func serveMain(args []string) {
 		os.Exit(2)
 	}
 	svc, err := sys.Serve(deeprecsys.ServeOptions{
-		Workers:      *workers,
-		BatchSize:    *batch,
-		GPUThreshold: *threshold,
-		SLA:          *sla,
-		AutoTune:     *autotune,
+		Workers:       *workers,
+		BatchSize:     *batch,
+		GPUThreshold:  *threshold,
+		SLA:           *sla,
+		AutoTune:      *autotune,
+		Replicas:      *replicas,
+		RoutingPolicy: *policy,
+		Jitter:        *jitter,
+		GPUReplicas:   *gpuReplicas,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -78,8 +94,13 @@ func serveMain(args []string) {
 	defer stop()
 
 	st := svc.Stats()
-	fmt.Printf("serving %s live: %d queries, batch %d, p95 target %v\n",
-		*modelName, len(queries), svc.BatchSize(), st.SLA)
+	if *replicas >= 2 {
+		fmt.Printf("serving %s live: %d queries over %d replicas (%s routing), batch %d, p95 target %v\n",
+			*modelName, len(queries), st.Replicas, st.RoutingPolicy, svc.BatchSize(), st.SLA)
+	} else {
+		fmt.Printf("serving %s live: %d queries, batch %d, p95 target %v\n",
+			*modelName, len(queries), svc.BatchSize(), st.SLA)
+	}
 
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
@@ -163,6 +184,20 @@ drive:
 			fmt.Printf(", threshold at %d", final.GPUThreshold)
 		}
 		fmt.Printf(" after %d retunes\n", final.Retunes)
+	}
+	if *replicas >= 2 {
+		fmt.Printf("per-replica (%s routing):\n", final.RoutingPolicy)
+		fmt.Printf("  %3s %6s %4s %8s %6s %5s %12s %12s\n",
+			"id", "speed", "gpu", "served", "batch", "thr", "p50", "p95")
+		for _, r := range final.PerReplica {
+			gpuMark := "-"
+			if r.HasGPU {
+				gpuMark = "yes"
+			}
+			fmt.Printf("  %3d %6.3f %4s %8d %6d %5d %12v %12v\n",
+				r.ID, r.Speed, gpuMark, r.Completed, r.BatchSize, r.GPUThreshold,
+				r.P50.Round(10*time.Microsecond), r.P95.Round(10*time.Microsecond))
+		}
 	}
 	if final.MeetsSLA() {
 		fmt.Printf("meets the %v p95 SLA\n", final.SLA)

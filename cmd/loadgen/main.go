@@ -4,10 +4,9 @@
 // serving stacks — or `deeprecsys serve` — with the paper's arrival and
 // working-set-size distributions.
 //
-// The -dist grammar is the shared workload spec format (see
-// internal/workload.ParseDist and the public deeprecsys.ParseWorkload):
-// production, lognormal[:<mu>,<sigma>], normal[:<mean>,<stddev>],
-// fixed:<n>.
+// The -dist grammar is the shared workload spec format, documented
+// canonically on deeprecsys.ParseWorkload (production,
+// lognormal[:<mu>,<sigma>], normal[:<mean>,<stddev>], fixed:<n>).
 //
 // Usage:
 //

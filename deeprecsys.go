@@ -37,7 +37,12 @@
 //     pool executing actual model forward passes, tracks the online p95
 //     against the SLA, optionally retunes both knobs — batch size and
 //     offload threshold — with a background DeepRecSched hill climb, and
-//     drains gracefully on Close.
+//     drains gracefully on Close. ServeOptions.Replicas >= 2 raises the
+//     Service to a fleet: a load-balancing front end sharding traffic
+//     across N replica services under a pluggable routing policy
+//     (round-robin, least-loaded, size-aware), with per-replica
+//     heterogeneity and AutoTune, fleet-wide online percentiles, and
+//     membership changes that never drop in-flight queries.
 //
 // A System ties one recommendation model to one hardware platform:
 //
@@ -46,8 +51,9 @@
 //	fmt.Println(decision.BatchSize, decision.GPUThreshold, decision.QPS)
 //
 // Every table and figure of the paper's evaluation can be regenerated with
-// RunExperiment (or the cmd/deeprecsys CLI); EXPERIMENTS.md records
-// paper-versus-measured values.
+// RunExperiment (or the cmd/deeprecsys CLI); EXPERIMENTS.md records one
+// full run of every artifact, and docs/ARCHITECTURE.md maps each paper
+// section and figure to the package that reproduces it.
 package deeprecsys
 
 import (

@@ -53,7 +53,8 @@ func (s *System) engine() serving.Engine {
 }
 
 // serveAccelerator returns the accelerator model backing a live Service's
-// offload lane, or nil when none is provisioned. Only the Analytical engine
+// offload lane — and, on a fleet, the lane of every GPU-capable replica —
+// or nil when none is provisioned. Only the Analytical engine
 // carries the calibrated device model the lane's modeled service times come
 // from; NewSystem already rejects RealExecution+WithGPU, so the capability
 // check here guards engine kinds added later rather than a reachable state.

@@ -67,10 +67,13 @@ type Fleet struct {
 	Nodes []Node
 }
 
-// NewFleet builds n nodes around the engine supplied by mkEngine, applying
-// per-node speed factors drawn from N(1, jitter²) clamped to ±3 jitter.
-// mkEngine is called once per node so engines never share mutable state.
-func NewFleet(mkEngine func() serving.Engine, n int, jitter float64, seed int64) *Fleet {
+// SpeedFactors draws n per-node service-time scale factors from
+// N(1, jitter²) clamped to ±3 jitter (and floored above zero) — the
+// node-heterogeneity model behind the paper's fleet experiments. It is
+// shared by the offline fleet simulator (NewFleet) and the live fleet tier
+// (internal/fleet), so a jitter level studied offline deploys to live
+// replicas with the same statistics.
+func SpeedFactors(n int, jitter float64, seed int64) []float64 {
 	if n < 1 {
 		panic(fmt.Sprintf("cluster: fleet needs at least one node, got %d", n))
 	}
@@ -78,8 +81,8 @@ func NewFleet(mkEngine func() serving.Engine, n int, jitter float64, seed int64)
 		panic(fmt.Sprintf("cluster: negative jitter %v", jitter))
 	}
 	rng := rand.New(rand.NewSource(seed))
-	f := &Fleet{Nodes: make([]Node, n)}
-	for i := range f.Nodes {
+	factors := make([]float64, n)
+	for i := range factors {
 		factor := 1 + rng.NormFloat64()*jitter
 		if min := 1 - 3*jitter; factor < min {
 			factor = min
@@ -90,6 +93,18 @@ func NewFleet(mkEngine func() serving.Engine, n int, jitter float64, seed int64)
 		if factor <= 0 {
 			factor = 0.01
 		}
+		factors[i] = factor
+	}
+	return factors
+}
+
+// NewFleet builds n nodes around the engine supplied by mkEngine, applying
+// per-node SpeedFactors. mkEngine is called once per node so engines never
+// share mutable state.
+func NewFleet(mkEngine func() serving.Engine, n int, jitter float64, seed int64) *Fleet {
+	factors := SpeedFactors(n, jitter, seed)
+	f := &Fleet{Nodes: make([]Node, n)}
+	for i, factor := range factors {
 		f.Nodes[i] = Node{ID: i, Speed: factor, Engine: NewScaledEngine(mkEngine(), factor)}
 	}
 	return f

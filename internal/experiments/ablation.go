@@ -28,7 +28,7 @@ type ablationVariant struct {
 	apply func(*platform.CPU)
 }
 
-// ablationVariants returns the knock-outs for the four mechanisms DESIGN.md
+// ablationVariants returns the knock-outs for the four mechanisms docs/DESIGN.md
 // §5 calls out as the basis of the cost model.
 func ablationVariants() []ablationVariant {
 	return []ablationVariant{
@@ -58,7 +58,7 @@ func ablationVariants() []ablationVariant {
 // Ablation measures how each cost-model mechanism shapes the scheduler's
 // decision for an embedding-dominated and an MLP-dominated model: knock a
 // mechanism out, re-run the batch-size hill climb, and compare the tuned
-// batch and gain against the static baseline. This backs DESIGN.md's claim
+// batch and gain against the static baseline. This backs docs/DESIGN.md's claim
 // that the four mechanisms are the ones driving the paper's results — e.g.
 // removing batch-dependent gather efficiency and bandwidth sharing collapses
 // the advantage of large batches for DLRM-RMC1.

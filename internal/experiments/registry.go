@@ -29,7 +29,7 @@ func All() map[string]Runner {
 		"fig12c": func(o Options) Report { r, _ := Fig12c(o); return r },
 		"fig13":  func(o Options) Report { r, _ := Fig13(o); return r },
 		"fig14":  func(o Options) Report { r, _ := Fig14(o); return r },
-		// ablation is not a paper artifact; it backs DESIGN.md's claim that
+		// ablation is not a paper artifact; it backs docs/DESIGN.md's claim that
 		// the four cost-model mechanisms drive the scheduler's decisions.
 		"ablation": func(o Options) Report { r, _ := Ablation(o); return r },
 	}

@@ -6,10 +6,10 @@
 // cmd/deeprecsys prints them on demand.
 //
 // Absolute numbers differ from the paper (the substrate is an analytical
-// simulator, not the authors' Caffe2/MKL testbed — see DESIGN.md); the
+// simulator, not the authors' Caffe2/MKL testbed — see docs/DESIGN.md); the
 // experiments preserve the paper's comparative shapes: who wins, by roughly
-// what factor, and where the crossovers fall. EXPERIMENTS.md records
-// paper-vs-measured values for each artifact.
+// what factor, and where the crossovers fall. EXPERIMENTS.md records one
+// full run of every artifact.
 package experiments
 
 import (
@@ -54,8 +54,8 @@ func (r Report) String() string {
 }
 
 // Options sets the fidelity of simulation-backed experiments. Quick keeps
-// unit tests fast; Full is the fidelity used for EXPERIMENTS.md and the
-// bench harness.
+// unit tests (and the runs recorded in EXPERIMENTS.md) fast; Full tightens
+// the percentile estimates and is the fidelity of the bench harness.
 type Options struct {
 	// Queries and Warmup size each capacity-search evaluation.
 	Queries int

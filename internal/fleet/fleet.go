@@ -1,0 +1,488 @@
+// Package fleet is the live fleet tier: a load-balancing front end that
+// shards Submit traffic across N replica live.Services — the at-scale
+// serving layer of the paper made live. The offline internal/cluster
+// simulator answers fleet questions in simulation (Fig. 7 subsampling
+// validity, Fig. 13 diurnal A/B); this package serves real concurrent
+// traffic over a fleet of real services, one discrete replica per node,
+// with the same node-heterogeneity model (cluster.SpeedFactors →
+// live.Config.Scale) so a jitter level studied offline deploys unchanged.
+//
+// The front end is deliberately thin: each replica is a complete
+// live.Service with its own executor lanes, online latency window, and
+// (optionally) its own DeepRecSched AutoTune controller, exactly as each
+// node in the paper's datacenter runs its own scheduler. The fleet adds
+// three things on top:
+//
+//   - Routing. A pluggable Policy picks the serving replica per query.
+//     Round-robin is the fairness baseline, least-loaded implements
+//     join-shortest-queue over the front end's outstanding-query counts,
+//     and size-aware steers the heavy tail of big queries to GPU-capable
+//     replicas — the fleet-level analogue of the per-node offload
+//     threshold.
+//
+//   - Aggregation. Stats merges the replicas' online latency windows into
+//     one coherent sample set and reports fleet-wide p50/p95 alongside
+//     per-replica snapshots, the live counterpart of the paper's
+//     fleet-wide latency distributions.
+//
+//   - Membership. Replicas can be added, drained, and removed while the
+//     fleet serves: draining excludes a replica from routing but lets its
+//     in-flight queries finish, and removal blocks until the drain
+//     completes, so membership changes never drop a query.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/live"
+	"github.com/deeprecinfra/deeprecsys/internal/stats"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// ErrClosed is returned by Submit after Close has begun. It aliases
+// live.ErrClosed so callers of the public Service need only one sentinel.
+var ErrClosed = live.ErrClosed
+
+// ErrLastReplica is returned by Drain and Remove when the operation would
+// leave the fleet with no routable replica.
+var ErrLastReplica = errors.New("fleet: cannot drain the last routable replica")
+
+// replica is one member: a live.Service plus the front end's own routing
+// state. outstanding counts queries routed but not yet returned (the
+// least-loaded signal); inflight guards the drain — Remove waits on it
+// before closing the service, so a membership change never races a Submit
+// into a closed replica.
+type replica struct {
+	id       int
+	svc      *live.Service
+	hasGPU   bool
+	speed    float64
+	draining bool // guarded by the fleet's mu
+	removing bool // guarded by the fleet's mu
+
+	outstanding atomic.Int64
+	inflight    sync.WaitGroup
+}
+
+// Fleet shards live queries across replica services. Create one with New,
+// Submit from any number of goroutines, and Close it to drain every
+// replica.
+type Fleet struct {
+	policy Policy
+	sla    time.Duration
+
+	mu       sync.RWMutex
+	replicas []*replica // membership in ID order
+	nextID   int
+	closed   bool
+
+	// Lifetime accounting for removed replicas, folded into Stats so the
+	// fleet's counters are monotone across membership changes.
+	retired live.Stats
+}
+
+// New starts one live.Service per config and returns a serving Fleet.
+// policy nil selects round-robin. Each replica's GPU capability and speed
+// factor are read off its config (Scale 0 = nominal). On any replica
+// construction error the already-started replicas are closed.
+func New(cfgs []live.Config, policy Policy) (*Fleet, error) {
+	if len(cfgs) < 1 {
+		return nil, errors.New("fleet: need at least one replica config")
+	}
+	if policy == nil {
+		policy = NewRoundRobin()
+	}
+	f := &Fleet{policy: policy}
+	for _, cfg := range cfgs {
+		if _, err := f.add(cfg); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	f.sla = f.replicas[0].svc.Stats().SLA
+	return f, nil
+}
+
+// add starts one replica and joins it to the routing set.
+func (f *Fleet) add(cfg live.Config) (int, error) {
+	svc, err := live.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		svc.Close()
+		return 0, ErrClosed
+	}
+	id := f.nextID
+	f.nextID++
+	f.replicas = append(f.replicas, &replica{
+		id:     id,
+		svc:    svc,
+		hasGPU: cfg.GPU != nil,
+		speed:  svc.Scale(),
+	})
+	f.mu.Unlock()
+	return id, nil
+}
+
+// Add starts a new replica from cfg and joins it to the routing set,
+// returning its fleet-assigned ID. It is safe while the fleet serves.
+func (f *Fleet) Add(cfg live.Config) (int, error) { return f.add(cfg) }
+
+// Policy returns the routing policy's name.
+func (f *Fleet) Policy() string { return f.policy.Name() }
+
+// Size returns the number of routable (non-draining) replicas.
+func (f *Fleet) Size() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.routable()
+}
+
+// routable counts non-draining replicas. Callers hold mu.
+func (f *Fleet) routable() int {
+	n := 0
+	for _, r := range f.replicas {
+		if !r.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// find returns the replica with the given ID, or nil. Callers hold mu.
+func (f *Fleet) find(id int) *replica {
+	for _, r := range f.replicas {
+		if r.id == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// route picks the serving replica for a query of `size` items and pins it:
+// the returned replica's outstanding count and in-flight group are already
+// incremented, so a concurrent drain waits for this query. The caller must
+// release both when the submission returns.
+func (f *Fleet) route(size int) (*replica, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	cands := make([]Candidate, 0, len(f.replicas))
+	routable := make([]*replica, 0, len(f.replicas))
+	for _, r := range f.replicas {
+		if r.draining {
+			continue
+		}
+		cands = append(cands, Candidate{
+			ID:          r.id,
+			Outstanding: int(r.outstanding.Load()),
+			HasGPU:      r.hasGPU,
+			Speed:       r.speed,
+		})
+		routable = append(routable, r)
+	}
+	if len(routable) == 0 {
+		return nil, ErrClosed
+	}
+	idx := f.policy.Pick(size, cands)
+	if idx < 0 || idx >= len(routable) {
+		idx = 0
+	}
+	r := routable[idx]
+	r.outstanding.Add(1)
+	r.inflight.Add(1)
+	return r, nil
+}
+
+// Submit routes one query to a replica chosen by the policy and blocks
+// until it completes, ctx is cancelled, or the fleet closes. It returns
+// the serving replica's ID alongside the reply and is safe for concurrent
+// use from any number of goroutines.
+func (f *Fleet) Submit(ctx context.Context, q live.Query) (live.Reply, int, error) {
+	r, err := f.route(q.Candidates)
+	if err != nil {
+		return live.Reply{}, -1, err
+	}
+	defer r.inflight.Done()
+	defer r.outstanding.Add(-1)
+	reply, err := r.svc.Submit(ctx, q)
+	return reply, r.id, err
+}
+
+// Drain excludes a replica from routing while letting its in-flight
+// queries finish; the replica keeps running (its AutoTune controller
+// included) until Remove. Draining an already-draining replica is a no-op;
+// draining the last routable replica is refused.
+func (f *Fleet) Drain(id int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.find(id)
+	if r == nil {
+		return fmt.Errorf("fleet: unknown replica %d", id)
+	}
+	if r.draining {
+		return nil
+	}
+	if f.routable() == 1 {
+		return ErrLastReplica
+	}
+	r.draining = true
+	return nil
+}
+
+// Remove drains a replica (if it is not already draining), waits for its
+// in-flight queries to complete, closes it, and retires it from the fleet.
+// Its lifetime counters fold into the fleet totals. Remove blocks for the
+// duration of the drain; no query is dropped.
+func (f *Fleet) Remove(id int) error {
+	f.mu.Lock()
+	r := f.find(id)
+	if r == nil {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: unknown replica %d", id)
+	}
+	if r.removing {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: replica %d is already being removed", id)
+	}
+	if !r.draining {
+		if f.routable() == 1 {
+			f.mu.Unlock()
+			return ErrLastReplica
+		}
+		r.draining = true
+	}
+	r.removing = true
+	f.mu.Unlock()
+
+	r.inflight.Wait() // every routed query has returned
+	// The replica is retired even if Close reports an error (it cannot,
+	// today): stranding a half-removed member would make Remove
+	// unretryable and Stats report a zombie.
+	err := r.svc.Close()
+
+	f.mu.Lock()
+	st := r.svc.Stats()
+	f.retired.Submitted += st.Submitted
+	f.retired.Completed += st.Completed
+	f.retired.Cancelled += st.Cancelled
+	f.retired.GPUQueries += st.GPUQueries
+	f.retired.Retunes += st.Retunes
+	f.retired.WorkItems += st.WorkItems
+	f.retired.GPUItems += st.GPUItems
+	for i, cur := range f.replicas {
+		if cur == r {
+			f.replicas = append(f.replicas[:i], f.replicas[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
+	return err
+}
+
+// SetBatchSize sets the per-request batch size on every replica (the
+// manual counterpart of per-replica AutoTune, which may re-diverge them).
+func (f *Fleet) SetBatchSize(b int) error {
+	if b < 1 || b > live.MaxBatchSize {
+		return fmt.Errorf("fleet: batch size %d outside [1, %d]", b, live.MaxBatchSize)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, r := range f.replicas {
+		if err := r.svc.SetBatchSize(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetGPUThreshold sets the offload threshold on every GPU-capable replica;
+// CPU-only replicas are untouched. It fails when no replica has an
+// accelerator.
+func (f *Fleet) SetGPUThreshold(thr int) error {
+	if thr < 0 || thr > workload.MaxQuerySize {
+		return fmt.Errorf("fleet: GPU threshold %d outside [0, %d]", thr, workload.MaxQuerySize)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	applied := false
+	for _, r := range f.replicas {
+		if !r.hasGPU {
+			continue
+		}
+		if err := r.svc.SetGPUThreshold(thr); err != nil {
+			return err
+		}
+		applied = true
+	}
+	if !applied {
+		return errors.New("fleet: no GPU-capable replica")
+	}
+	return nil
+}
+
+// BatchSize returns the first replica's current batch size. Replicas share
+// knob settings through SetBatchSize, but per-replica AutoTune may diverge
+// them; Stats().Replicas carries every replica's value.
+func (f *Fleet) BatchSize() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if len(f.replicas) == 0 {
+		return 0
+	}
+	return f.replicas[0].svc.BatchSize()
+}
+
+// GPUThreshold returns the first GPU-capable replica's current offload
+// threshold (0 when none has an accelerator).
+func (f *Fleet) GPUThreshold() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, r := range f.replicas {
+		if r.hasGPU {
+			return r.svc.GPUThreshold()
+		}
+	}
+	return 0
+}
+
+// ReplicaStats is one replica's slice of the fleet snapshot: its identity
+// and routing state alongside its full live.Stats.
+type ReplicaStats struct {
+	// ID is the fleet-assigned replica identity (stable across membership
+	// changes; IDs of removed replicas are not reused).
+	ID int
+	// Speed is the replica's service-time scale factor (1 = nominal).
+	Speed float64
+	// HasGPU reports whether the replica has the accelerator offload lane.
+	HasGPU bool
+	// Draining reports whether the replica is excluded from routing.
+	Draining bool
+	// Outstanding is the number of routed-but-unreturned queries.
+	Outstanding int
+	// Stats is the replica's own online snapshot.
+	live.Stats
+}
+
+// Stats is a fleet-wide online snapshot.
+type Stats struct {
+	// Policy is the routing policy's name.
+	Policy string
+	// Size is the number of routable (non-draining) replicas.
+	Size int
+	// Submitted / Completed / Cancelled / GPUQueries / Retunes are
+	// fleet-lifetime counts: the sum over current members plus every
+	// removed replica's final counters.
+	Submitted, Completed, Cancelled uint64
+	GPUQueries                      uint64
+	Retunes                         uint64
+	// GPUQueryShare is the fleet-lifetime fraction of admitted queries
+	// offloaded and GPUWorkShare the fraction of admitted candidate-item
+	// work offloaded — both over current members plus removed replicas,
+	// consistent with the lifetime counts above.
+	GPUQueryShare, GPUWorkShare float64
+	// P50 / P95 are fleet-wide online percentiles over the union of the
+	// replicas' latency windows — the live counterpart of the paper's
+	// fleet-wide latency distribution.
+	P50, P95 time.Duration
+	// WindowLen is the merged sample count behind the percentiles.
+	WindowLen int
+	// SLA is the replicas' shared p95 target (0 = none).
+	SLA time.Duration
+	// Replicas holds the per-replica snapshots in ID order.
+	Replicas []ReplicaStats
+}
+
+// MeetsSLA reports whether the fleet-wide p95 is within the target.
+func (s Stats) MeetsSLA() bool {
+	return s.SLA > 0 && s.WindowLen > 0 && s.P95 <= s.SLA
+}
+
+// Stats returns a fleet-wide online snapshot: per-replica states plus
+// fleet-level percentiles merged across every replica's latency window.
+func (f *Fleet) Stats() Stats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	st := Stats{
+		Policy:     f.policy.Name(),
+		Size:       f.routable(),
+		SLA:        f.sla,
+		Submitted:  f.retired.Submitted,
+		Completed:  f.retired.Completed,
+		Cancelled:  f.retired.Cancelled,
+		GPUQueries: f.retired.GPUQueries,
+		Retunes:    f.retired.Retunes,
+		Replicas:   make([]ReplicaStats, 0, len(f.replicas)),
+	}
+	var merged []float64
+	gpuItems := f.retired.GPUItems
+	workItems := f.retired.WorkItems
+	for _, r := range f.replicas {
+		rs := r.svc.Stats()
+		st.Submitted += rs.Submitted
+		st.Completed += rs.Completed
+		st.Cancelled += rs.Cancelled
+		st.GPUQueries += rs.GPUQueries
+		st.Retunes += rs.Retunes
+		gpuItems += rs.GPUItems
+		workItems += rs.WorkItems
+		merged = append(merged, r.svc.LatencySnapshot()...)
+		st.Replicas = append(st.Replicas, ReplicaStats{
+			ID:          r.id,
+			Speed:       r.speed,
+			HasGPU:      r.hasGPU,
+			Draining:    r.draining,
+			Outstanding: int(r.outstanding.Load()),
+			Stats:       rs,
+		})
+	}
+	if st.Submitted > 0 {
+		st.GPUQueryShare = float64(st.GPUQueries) / float64(st.Submitted)
+	}
+	if workItems > 0 {
+		st.GPUWorkShare = float64(gpuItems) / float64(workItems)
+	}
+	if len(merged) > 0 {
+		st.WindowLen = len(merged)
+		st.P50 = time.Duration(stats.Percentile(merged, 50) * float64(time.Second))
+		st.P95 = time.Duration(stats.Percentile(merged, 95) * float64(time.Second))
+	}
+	return st
+}
+
+// Close stops accepting queries, then drains and closes every replica
+// concurrently. Close is idempotent; concurrent Submits either finish
+// normally or observe ErrClosed.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	members := append([]*replica(nil), f.replicas...)
+	f.mu.Unlock()
+
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	wg.Add(len(members))
+	for i, r := range members {
+		go func(i int, r *replica) {
+			defer wg.Done()
+			r.inflight.Wait()
+			errs[i] = r.svc.Close()
+		}(i, r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

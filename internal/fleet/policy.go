@@ -1,0 +1,177 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Candidate describes one routable replica at pick time: the information a
+// routing policy may base its decision on. Outstanding is the number of
+// queries the fleet has routed to the replica that have not yet returned
+// (the front end's own count — it needs no replica cooperation and is exact
+// at pick time under the membership lock). Speed is the replica's
+// service-time scale factor (1 = nominal, larger = slower node).
+type Candidate struct {
+	ID          int
+	Outstanding int
+	HasGPU      bool
+	Speed       float64
+}
+
+// Policy routes queries to replicas. Pick returns the index into candidates
+// (never empty) of the replica that should serve a query of `size`
+// candidate items. Implementations may keep internal state (round-robin
+// keeps a cursor) but must be safe for concurrent Pick calls; the fleet
+// serializes membership changes, not routing.
+type Policy interface {
+	// Name identifies the policy in reports and CLI flags.
+	Name() string
+	// Pick selects the serving replica for a query of `size` items.
+	// candidates holds every routable (non-draining) replica in ID order.
+	// An out-of-range return is clamped by the fleet.
+	Pick(size int, candidates []Candidate) int
+}
+
+// RoundRobin cycles through the routable replicas in order, ignoring query
+// size and load: the fairness baseline. Because membership can change
+// between picks, the rotation is positional — the cursor advances over
+// whatever candidate set is current.
+type RoundRobin struct {
+	next atomic.Uint64
+}
+
+// NewRoundRobin returns a round-robin policy with the cursor at the first
+// replica.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(size int, candidates []Candidate) int {
+	return int((p.next.Add(1) - 1) % uint64(len(candidates)))
+}
+
+// LeastLoaded routes each query to the replica with the fewest outstanding
+// queries — the classic join-shortest-queue heuristic, which absorbs both
+// query-size skew (a replica stuck on a 1000-item query accumulates
+// outstanding work and stops attracting new queries) and node heterogeneity
+// (a slow node drains its queue slower, so it backs off automatically).
+// Ties break toward the faster node, then the lower ID, so routing is
+// deterministic given the candidate snapshot.
+type LeastLoaded struct{}
+
+// NewLeastLoaded returns the least-outstanding-queries policy.
+func NewLeastLoaded() LeastLoaded { return LeastLoaded{} }
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (LeastLoaded) Pick(size int, candidates []Candidate) int {
+	return leastLoaded(candidates, func(Candidate) bool { return true })
+}
+
+// leastLoaded returns the index of the least-outstanding candidate among
+// those matching keep, or -1 when none matches. Ties prefer the smaller
+// speed factor (faster node), then the lower ID.
+func leastLoaded(candidates []Candidate, keep func(Candidate) bool) int {
+	best := -1
+	for i, c := range candidates {
+		if !keep(c) {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := candidates[best]
+		switch {
+		case c.Outstanding != b.Outstanding:
+			if c.Outstanding < b.Outstanding {
+				best = i
+			}
+		case c.Speed != b.Speed:
+			if c.Speed < b.Speed {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// DefaultSizeThreshold is the SizeAware steering threshold when none is
+// given: queries of at least this many candidate items count as "big". It
+// sits at the knee of the production size distribution's heavy tail, the
+// same region DeepRecSched's tuned offload thresholds land in.
+const DefaultSizeThreshold = 512
+
+// SizeAware steers by query size across a heterogeneous fleet: big queries
+// (>= Threshold items) go to the least-loaded GPU-capable replica, whose
+// offload lane serves exactly that heavy tail, while small queries prefer
+// the least-loaded CPU-only replica so accelerator capacity is reserved
+// for the work that benefits from it — the fleet-level analogue of
+// DeepRecSched's per-node offload threshold. When no replica of the
+// preferred kind is routable the policy falls back to least-loaded over
+// all candidates, so a homogeneous fleet degrades gracefully.
+type SizeAware struct {
+	// Threshold is the steering boundary (default DefaultSizeThreshold).
+	Threshold int
+}
+
+// NewSizeAware returns a size-aware policy; threshold 0 selects
+// DefaultSizeThreshold.
+func NewSizeAware(threshold int) SizeAware {
+	if threshold <= 0 {
+		threshold = DefaultSizeThreshold
+	}
+	return SizeAware{Threshold: threshold}
+}
+
+// Name implements Policy.
+func (p SizeAware) Name() string { return fmt.Sprintf("size-aware:%d", p.Threshold) }
+
+// Pick implements Policy.
+func (p SizeAware) Pick(size int, candidates []Candidate) int {
+	big := size >= p.Threshold
+	if i := leastLoaded(candidates, func(c Candidate) bool { return c.HasGPU == big }); i >= 0 {
+		return i
+	}
+	return leastLoaded(candidates, func(Candidate) bool { return true })
+}
+
+// ParsePolicy parses a routing-policy spec as accepted by
+// `deeprecsys serve -policy`:
+//
+//	round-robin            cycle through the replicas (the default)
+//	least-loaded           fewest outstanding queries wins
+//	size-aware[:<n>]       queries >= n items steer to GPU-capable
+//	                       replicas (default n = DefaultSizeThreshold)
+func ParsePolicy(spec string) (Policy, error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	switch name {
+	case "", "round-robin":
+		if hasArg {
+			return nil, fmt.Errorf("fleet: round-robin takes no parameter (got %q)", spec)
+		}
+		return NewRoundRobin(), nil
+	case "least-loaded":
+		if hasArg {
+			return nil, fmt.Errorf("fleet: least-loaded takes no parameter (got %q)", spec)
+		}
+		return NewLeastLoaded(), nil
+	case "size-aware":
+		if !hasArg {
+			return NewSizeAware(0), nil
+		}
+		thr, err := strconv.Atoi(arg)
+		if err != nil || thr < 1 {
+			return nil, fmt.Errorf("fleet: size-aware threshold %q must be a positive integer", arg)
+		}
+		return NewSizeAware(thr), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown routing policy %q (have round-robin, least-loaded, size-aware[:<n>])", spec)
+	}
+}

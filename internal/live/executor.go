@@ -37,13 +37,14 @@ type Executor interface {
 type cpuPool struct {
 	model *model.Model
 	batch *atomic.Int64 // the service's live batch-size knob
+	scale float64       // service-time stretch; the CPU lane only slows (>= 1 effective)
 	tasks chan chunk
 	wg    sync.WaitGroup
 }
 
 // newCPUPool starts the worker pool.
-func newCPUPool(m *model.Model, batch *atomic.Int64, workers, queueDepth int, seed int64) *cpuPool {
-	p := &cpuPool{model: m, batch: batch, tasks: make(chan chunk, queueDepth)}
+func newCPUPool(m *model.Model, batch *atomic.Int64, workers, queueDepth int, seed int64, scale float64) *cpuPool {
+	p := &cpuPool{model: m, batch: batch, scale: scale, tasks: make(chan chunk, queueDepth)}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go p.worker(rand.New(rand.NewSource(seed + int64(w))))
@@ -62,8 +63,15 @@ func (p *cpuPool) worker(rng *rand.Rand) {
 			c.q.retire()
 			continue
 		}
+		start := time.Now()
 		in := m.NewInput(rng, c.size)
 		out := m.Forward(in)
+		// Per-node heterogeneity: a slow node stretches real execution
+		// proportionally. Forward passes cannot be sped up, so factors
+		// below 1 yield no pad and the lane floors at real speed.
+		if pad := time.Duration(float64(time.Since(start)) * (p.scale - 1)); pad > 0 {
+			time.Sleep(pad)
+		}
 		if n := c.q.topN; n > 0 {
 			if n > c.size {
 				n = c.size
@@ -127,6 +135,7 @@ type accelerator struct {
 	model   *model.Model
 	gpu     *platform.GPU
 	profile model.Profile
+	scale   float64       // service-time stretch on the modeled device time
 	slots   chan struct{} // one token per concurrent device stream
 	seq     atomic.Int64  // per-query seed stream for ranked offloads
 	seed    int64
@@ -134,7 +143,7 @@ type accelerator struct {
 }
 
 // newAccelerator builds the lane for one device model.
-func newAccelerator(m *model.Model, gpu *platform.GPU, seed int64) *accelerator {
+func newAccelerator(m *model.Model, gpu *platform.GPU, seed int64, scale float64) *accelerator {
 	streams := gpu.Streams
 	if streams < 1 {
 		streams = 1
@@ -143,6 +152,7 @@ func newAccelerator(m *model.Model, gpu *platform.GPU, seed int64) *accelerator 
 		model:   m,
 		gpu:     gpu,
 		profile: model.BuildProfile(m.Cfg),
+		scale:   scale,
 		slots:   make(chan struct{}, streams),
 		seed:    seed,
 	}
@@ -180,7 +190,7 @@ func (a *accelerator) run(iq *inflight, size int) {
 		iq.retire() // cancelled during the wait: consume no device time
 		return
 	}
-	service := a.gpu.QueryTime(a.profile, size)
+	service := time.Duration(float64(a.gpu.QueryTime(a.profile, size)) * a.scale)
 	start := time.Now()
 	if n := iq.topN; n > 0 {
 		rng := rand.New(rand.NewSource(a.seed + a.seq.Add(1)))

@@ -15,6 +15,13 @@
 // the batching discipline, the accelerator performance model, and the
 // tail-latency objective, so a configuration tuned offline can be deployed
 // here unchanged.
+//
+// A Service is one serving node. Config.Scale stretches its service times
+// by a per-node factor — the live counterpart of the offline fleet
+// simulator's ScaledEngine node-heterogeneity model — and LatencySnapshot
+// exposes the online latency window for cross-node aggregation; both exist
+// so internal/fleet can shard traffic across N replica Services, the
+// paper's at-scale tier made live.
 package live
 
 import (
@@ -75,6 +82,14 @@ type Config struct {
 	QueueDepth int
 	// Seed makes the per-worker input RNGs deterministic (default 1).
 	Seed int64
+	// Scale stretches every service time by this factor (default 1) — the
+	// live counterpart of the fleet simulator's per-node ScaledEngine:
+	// 1.05 models a node 5% slower than nominal (silicon quality, thermal
+	// headroom, co-tenancy). The accelerator lane scales its modeled
+	// service time directly; the CPU lane executes real forward passes, so
+	// it can only be slowed — factors above 1 pad each chunk
+	// proportionally, factors below 1 floor at real execution speed.
+	Scale float64
 }
 
 // withDefaults returns cfg with defaults filled in, validating what cannot
@@ -131,6 +146,12 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Scale <= 0 {
+		return cfg, fmt.Errorf("live: scale factor %v must be positive", cfg.Scale)
+	}
 	return cfg, nil
 }
 
@@ -174,6 +195,11 @@ type Stats struct {
 	// live counterparts of the simulator's Fig. 14 series.
 	GPUQueryShare float64
 	GPUWorkShare  float64
+	// WorkItems is the lifetime count of admitted candidate items across
+	// both lanes and GPUItems the offloaded portion — the integer counts
+	// behind GPUWorkShare, exposed so a fleet front end can aggregate
+	// work shares exactly.
+	WorkItems, GPUItems uint64
 	// P50 / P95 are the windowed online latency percentiles.
 	P50, P95 time.Duration
 	// WindowLen is the number of samples behind the percentiles.
@@ -259,9 +285,9 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.batch.Store(int64(cfg.BatchSize))
 	s.thresh.Store(int64(cfg.GPUThreshold))
-	s.cpu = newCPUPool(cfg.Model, &s.batch, cfg.Workers, cfg.QueueDepth, cfg.Seed)
+	s.cpu = newCPUPool(cfg.Model, &s.batch, cfg.Workers, cfg.QueueDepth, cfg.Seed, cfg.Scale)
 	if cfg.GPU != nil {
-		s.acc = newAccelerator(cfg.Model, cfg.GPU, cfg.Seed)
+		s.acc = newAccelerator(cfg.Model, cfg.GPU, cfg.Seed, cfg.Scale)
 	}
 	if cfg.AutoTune {
 		s.ctrlStop = make(chan struct{})
@@ -391,6 +417,14 @@ func (s *Service) SetGPUThreshold(thr int) error {
 	return nil
 }
 
+// LatencySnapshot copies the current contents of the online latency window
+// in seconds (unordered). A fleet front end merges the snapshots of its
+// replicas to estimate fleet-wide percentiles over one coherent sample set.
+func (s *Service) LatencySnapshot() []float64 { return s.win.Snapshot() }
+
+// Scale returns the service-time scale factor (1 = nominal speed).
+func (s *Service) Scale() float64 { return s.cfg.Scale }
+
 // Stats returns an online snapshot.
 func (s *Service) Stats() Stats {
 	sum := s.win.Summary()
@@ -410,9 +444,10 @@ func (s *Service) Stats() Stats {
 	if total := st.GPUQueries + s.cpuQueries.Load(); total > 0 {
 		st.GPUQueryShare = float64(st.GPUQueries) / float64(total)
 	}
-	gpuItems := s.gpuItems.Load()
-	if items := gpuItems + s.cpuItems.Load(); items > 0 {
-		st.GPUWorkShare = float64(gpuItems) / float64(items)
+	st.GPUItems = s.gpuItems.Load()
+	st.WorkItems = st.GPUItems + s.cpuItems.Load()
+	if st.WorkItems > 0 {
+		st.GPUWorkShare = float64(st.GPUItems) / float64(st.WorkItems)
 	}
 	return st
 }

@@ -66,7 +66,7 @@ type Config struct {
 
 	// Sparse (categorical) feature path.
 	NumTables       int        // number of embedding tables
-	TableRows       int        // rows per table (scaled-down; see DESIGN.md)
+	TableRows       int        // rows per table (scaled-down; see docs/DESIGN.md)
 	LookupsPerTable int        // lookups per table per item (Table I "Lookup")
 	EmbDim          int        // latent dimension
 	Pool            nn.Pooling // pooling for plain (non-sequence) tables

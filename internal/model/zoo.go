@@ -55,7 +55,7 @@ func Zoo() []Config {
 			NumTables:  20, TableRows: 10000, LookupsPerTable: 1, EmbDim: 32, Pool: nn.PoolConcat,
 			// The paper's MT-WnD evaluates N parallel objective heads; we
 			// size N=3 so the model remains servable within its 25 ms SLA
-			// on this slower pure-Go substrate (see DESIGN.md).
+			// on this slower pure-Go substrate (see docs/DESIGN.md).
 			PredictFC: []int{1024, 512, 256}, NumTasks: 3,
 			Class: MLPDominated, SLAMedium: 25 * time.Millisecond,
 		},

@@ -1,6 +1,6 @@
 // Package platform provides the hardware performance models that substitute
 // for the paper's testbed (dual-socket Intel Broadwell/Skylake servers and a
-// GTX 1080Ti-class accelerator; see DESIGN.md's substitution table). The
+// GTX 1080Ti-class accelerator; see docs/DESIGN.md's substitution table). The
 // models are analytical: they convert a model.Profile's per-item FLOP and
 // byte counts into service times using the four mechanisms the paper
 // identifies as decisive for recommendation inference:

@@ -1,8 +1,18 @@
 // Package workload models the real-time query characteristics of at-scale
-// recommendation inference (paper Section III-C): Poisson query arrivals and
-// working-set (query size) distributions, including the production
-// distribution whose heavy tail — heavier than the canonical lognormal used
-// in prior web-service studies — drives DeepRecSched's design.
+// recommendation inference (paper Section III-C): query arrival processes
+// (open-loop Poisson, the paper's model of independent user requests, plus
+// a uniform closed-loop control) and working-set (query size) distributions,
+// including the production distribution whose heavy tail — heavier than the
+// canonical lognormal used in prior web-service studies (Fig. 5) — drives
+// DeepRecSched's design: it is exactly that tail the accelerator offload
+// threshold carves off.
+//
+// The package also owns the textual workload spec grammar shared by every
+// query-stream producer (documented canonically on the public
+// deeprecsys.ParseWorkload; implemented by ParseDist and ParseArrivals),
+// the CSV trace interchange format (ReadTrace/WriteTrace, with Empirical
+// deriving a size distribution from a recorded trace), and pre-generated
+// arrival streams for the capacity search (PoissonStream).
 package workload
 
 import (

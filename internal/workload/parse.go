@@ -8,17 +8,10 @@ import (
 )
 
 // Spec parsing: the textual workload format shared by the public
-// deeprecsys.ParseWorkload API, cmd/loadgen, and cmd/replay. A size
-// distribution spec is one of
-//
-//	production                 the paper's heavy-tailed production dist
-//	lognormal                  the canonical comparison dist (defaults)
-//	lognormal:<mu>,<sigma>     explicit lognormal parameters
-//	normal                     N(100, 40) (the loadgen default)
-//	normal:<mean>,<stddev>     explicit normal parameters
-//	fixed:<n>                  every query carries n items
-//
-// and an arrival spec is "poisson" or "uniform" (rate supplied separately).
+// deeprecsys.ParseWorkload API, cmd/loadgen, cmd/replay, and
+// `deeprecsys serve -workload`. The grammar is documented canonically on
+// deeprecsys.ParseWorkload; ParseDist and ParseArrivals implement its two
+// halves (the size-distribution spec and the arrival spec).
 
 // ParseDist parses a size-distribution spec.
 func ParseDist(spec string) (SizeDist, error) {

@@ -2,9 +2,13 @@ package deeprecsys
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"github.com/deeprecinfra/deeprecsys/internal/cluster"
+	"github.com/deeprecinfra/deeprecsys/internal/fleet"
 	"github.com/deeprecinfra/deeprecsys/internal/live"
 )
 
@@ -38,7 +42,33 @@ type ServeOptions struct {
 	WindowSize int
 	// QueueDepth bounds the request queue (default 8 per worker).
 	QueueDepth int
+	// Replicas selects the fleet tier: with N >= 2 the service becomes a
+	// load-balancing front end sharding Submit traffic across N complete
+	// replica services, each with its own executor lanes, online latency
+	// window, and (with AutoTune) its own controller. The default (0 or 1)
+	// is the single-replica service, behaviorally identical to serving
+	// without the fleet tier; Jitter and GPUReplicas then have no effect,
+	// and RoutingPolicy is validated but unused.
+	Replicas int
+	// RoutingPolicy picks the serving replica per query: "round-robin"
+	// (the default), "least-loaded" (fewest outstanding queries), or
+	// "size-aware[:<n>]" (queries of >= n items steer to GPU-capable
+	// replicas; n defaults to 512).
+	RoutingPolicy string
+	// Jitter models node-to-node performance heterogeneity: per-replica
+	// service-time scale factors drawn from N(1, Jitter²) clamped to
+	// ±3 Jitter — the same node-jitter model as the offline fleet
+	// simulator (0 = a homogeneous fleet).
+	Jitter float64
+	// GPUReplicas provisions the accelerator offload lane on only the
+	// first n replicas of a fleet (0 = every replica, when the system is
+	// built WithGPU) — a heterogeneous fleet for size-aware routing.
+	GPUReplicas int
 }
+
+// ErrNotFleet is returned by the replica-membership methods (AddReplica,
+// DrainReplica, RemoveReplica) of a single-replica Service.
+var ErrNotFleet = errors.New("deeprecsys: not a fleet (ServeOptions.Replicas < 2)")
 
 // Service is a live concurrent recommendation server for one System: the
 // online counterpart of the offline Tune/Capacity simulator. Submit real
@@ -47,16 +77,33 @@ type ServeOptions struct {
 // one) and batches the rest across a CPU worker pool running actual model
 // forward passes, tracks the online p95 against the SLA, and drains
 // gracefully on Close.
+//
+// With ServeOptions.Replicas >= 2 the Service is a fleet: a routing front
+// end over N complete replica services, with fleet-wide percentiles,
+// per-replica stats, and live membership changes (AddReplica,
+// DrainReplica, RemoveReplica). See docs/ARCHITECTURE.md for how the fleet
+// tier relates to the offline cluster simulator.
 type Service struct {
-	inner *live.Service
+	inner *live.Service // single-replica mode
+	fl    *fleet.Fleet  // fleet mode (Replicas >= 2)
 	model string
+
+	// Fleet-mode replica template for AddReplica: the base live config,
+	// specialized per added replica with the next seed in the stream.
+	base     live.Config
+	nextSeed atomic.Int64
 }
 
 // Serve starts a live Service for the system's model. The system's cached
-// model instance backs the worker pool, so a Service shares weights with
-// Recommend and the real-execution engine. A system built WithGPU serves
-// with the accelerator offload lane enabled, backed by the same analytical
-// device model as the offline simulator.
+// model instance backs the worker pool(s), so a Service shares weights
+// with Recommend and the real-execution engine. A system built WithGPU
+// serves with the accelerator offload lane enabled, backed by the same
+// analytical device model as the offline simulator.
+//
+// ServeOptions.Replicas >= 2 starts the fleet tier instead: N replica
+// services behind the ServeOptions.RoutingPolicy router, with optional
+// node heterogeneity (Jitter) and a partially GPU-provisioned fleet
+// (GPUReplicas).
 func (s *System) Serve(opts ServeOptions) (*Service, error) {
 	m, err := s.modelInstance()
 	if err != nil {
@@ -73,7 +120,7 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 	if sla == 0 {
 		sla = s.cfg.SLAMedium
 	}
-	inner, err := live.New(live.Config{
+	base := live.Config{
 		Model:        m,
 		Workers:      opts.Workers,
 		BatchSize:    opts.BatchSize,
@@ -85,11 +132,116 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 		WindowSize:   opts.WindowSize,
 		QueueDepth:   opts.QueueDepth,
 		Seed:         s.seed,
-	})
+	}
+	if opts.Replicas < 0 {
+		return nil, fmt.Errorf("deeprecsys: %d replicas", opts.Replicas)
+	}
+	// The fleet options are validated even when the fleet tier is off, so
+	// a misconfiguration fails identically at any replica count instead
+	// of surfacing only at scale-out.
+	if _, err := fleet.ParsePolicy(opts.RoutingPolicy); err != nil {
+		return nil, err
+	}
+	if opts.Jitter < 0 {
+		return nil, fmt.Errorf("deeprecsys: negative jitter %v", opts.Jitter)
+	}
+	if opts.GPUReplicas < 0 {
+		return nil, fmt.Errorf("deeprecsys: %d GPU replicas", opts.GPUReplicas)
+	}
+	if opts.Replicas >= 2 && opts.GPUReplicas > opts.Replicas {
+		return nil, fmt.Errorf("deeprecsys: GPUReplicas %d outside [0, Replicas=%d]", opts.GPUReplicas, opts.Replicas)
+	}
+	if opts.GPUReplicas > 0 && gpu == nil {
+		return nil, errors.New("deeprecsys: GPUReplicas set but no accelerator provisioned (use WithGPU)")
+	}
+	if opts.Replicas <= 1 {
+		inner, err := live.New(base)
+		if err != nil {
+			return nil, err
+		}
+		return &Service{inner: inner, model: s.cfg.Name}, nil
+	}
+	return s.serveFleet(base, opts)
+}
+
+// serveFleet starts the fleet tier: opts.Replicas copies of the base
+// config, each with its own seed stream, a speed factor from the shared
+// node-jitter model, and — for replicas past GPUReplicas — no accelerator.
+func (s *System) serveFleet(base live.Config, opts ServeOptions) (*Service, error) {
+	policy, err := fleet.ParsePolicy(opts.RoutingPolicy)
 	if err != nil {
 		return nil, err
 	}
-	return &Service{inner: inner, model: s.cfg.Name}, nil
+	gpuReplicas := opts.Replicas
+	if opts.GPUReplicas > 0 {
+		gpuReplicas = opts.GPUReplicas
+	}
+	speeds := cluster.SpeedFactors(opts.Replicas, opts.Jitter, s.seed)
+	cfgs := make([]live.Config, opts.Replicas)
+	for i := range cfgs {
+		cfgs[i] = replicaConfig(base, s.seed+replicaSeedStride*int64(i), speeds[i], base.GPU != nil && i < gpuReplicas)
+	}
+	fl, err := fleet.New(cfgs, policy)
+	if err != nil {
+		return nil, err
+	}
+	svc := &Service{fl: fl, model: s.cfg.Name, base: base}
+	svc.nextSeed.Store(s.seed + replicaSeedStride*int64(opts.Replicas))
+	return svc, nil
+}
+
+// replicaSeedStride separates the replicas' seed streams: each replica
+// derives per-worker RNGs from seed+workerIndex, so consecutive replica
+// seeds would alias worker streams.
+const replicaSeedStride = 7919
+
+// replicaConfig specializes the base config for one fleet replica.
+func replicaConfig(base live.Config, seed int64, speed float64, gpu bool) live.Config {
+	cfg := base
+	cfg.Seed = seed
+	cfg.Scale = speed
+	if !gpu {
+		cfg.GPU = nil
+		cfg.GPUThreshold = 0
+	}
+	return cfg
+}
+
+// AddReplica starts one more nominal-speed replica from the fleet's base
+// configuration and joins it to the routing set, returning its replica ID.
+// withGPU provisions the accelerator offload lane on the new replica; it
+// requires a system built WithGPU. AddReplica fails with ErrNotFleet on a
+// single-replica Service.
+func (s *Service) AddReplica(withGPU bool) (int, error) {
+	if s.fl == nil {
+		return 0, ErrNotFleet
+	}
+	if withGPU && s.base.GPU == nil {
+		return 0, errors.New("deeprecsys: AddReplica(withGPU) on a system without an accelerator (use WithGPU)")
+	}
+	seed := s.nextSeed.Add(replicaSeedStride) - replicaSeedStride
+	cfg := replicaConfig(s.base, seed, 1, withGPU)
+	return s.fl.Add(cfg)
+}
+
+// DrainReplica excludes a replica from routing while its in-flight queries
+// finish; the replica keeps serving them until RemoveReplica. Draining the
+// last routable replica is refused.
+func (s *Service) DrainReplica(id int) error {
+	if s.fl == nil {
+		return ErrNotFleet
+	}
+	return s.fl.Drain(id)
+}
+
+// RemoveReplica drains a replica, waits for its in-flight queries to
+// complete, closes it, and retires it from the fleet — no query is
+// dropped. Its lifetime counters fold into the fleet totals.
+func (s *Service) RemoveReplica(id int) error {
+	if s.fl == nil {
+		return ErrNotFleet
+	}
+	return s.fl.Remove(id)
 }
 
 // Reply is the answer to one live query.
@@ -103,18 +255,32 @@ type Reply struct {
 	BatchSize int
 	// Offloaded reports whether the accelerator lane served the query.
 	Offloaded bool
+	// Replica is the ID of the replica that served the query (0 on a
+	// single-replica Service).
+	Replica int
 }
 
 // Submit serves one live query: rank `candidates` items and return the
 // `topN` highest-CTR ones (topN 0 skips ranking; load drivers use it to
-// measure latency only). Submit blocks until the query completes, ctx is
+// measure latency only). On a fleet the routing policy picks the serving
+// replica first. Submit blocks until the query completes, ctx is
 // cancelled, or the service closes; it is safe for concurrent use.
 func (s *Service) Submit(ctx context.Context, candidates, topN int) (Reply, error) {
-	r, err := s.inner.Submit(ctx, live.Query{Candidates: candidates, TopN: topN})
+	q := live.Query{Candidates: candidates, TopN: topN}
+	var (
+		r       live.Reply
+		replica int
+		err     error
+	)
+	if s.fl != nil {
+		r, replica, err = s.fl.Submit(ctx, q)
+	} else {
+		r, err = s.inner.Submit(ctx, q)
+	}
 	if err != nil {
 		return Reply{}, err
 	}
-	reply := Reply{Latency: r.Latency, BatchSize: r.BatchSize, Offloaded: r.Offloaded}
+	reply := Reply{Latency: r.Latency, BatchSize: r.BatchSize, Offloaded: r.Offloaded, Replica: replica}
 	if topN > 0 {
 		reply.Recs = make([]Recommendation, len(r.Recs))
 		for i, rec := range r.Recs {
@@ -147,7 +313,50 @@ type ServiceStats struct {
 	// SLA is the target the service reports against.
 	SLA time.Duration
 	// Retunes counts knob changes (batch size or offload threshold) made
-	// by the AutoTune controller.
+	// by the AutoTune controller (summed over replicas on a fleet).
+	Retunes uint64
+	// Replicas is the number of routable replicas (1 on a single-replica
+	// Service).
+	Replicas int
+	// RoutingPolicy is the fleet router's name ("" on a single-replica
+	// Service).
+	RoutingPolicy string
+	// PerReplica holds per-replica snapshots in replica-ID order (nil on
+	// a single-replica Service). On a fleet the top-level P50/P95 are
+	// fleet-wide — computed over the union of the replicas' latency
+	// windows — while each PerReplica entry carries that replica's own
+	// window, knobs, and lifetime counts.
+	PerReplica []ReplicaStats
+}
+
+// ReplicaStats is the online snapshot of one fleet replica.
+type ReplicaStats struct {
+	// ID is the fleet-assigned replica identity (stable across membership
+	// changes; IDs of removed replicas are not reused).
+	ID int
+	// Speed is the replica's service-time scale factor (1 = nominal,
+	// larger = slower node), drawn from the ServeOptions.Jitter model.
+	Speed float64
+	// HasGPU reports whether the replica has the accelerator offload lane.
+	HasGPU bool
+	// Draining reports whether the replica is excluded from routing.
+	Draining bool
+	// Outstanding is the number of routed-but-unreturned queries — the
+	// signal the least-loaded policy balances on.
+	Outstanding int
+	// Submitted / Completed / Cancelled are the replica's lifetime counts.
+	Submitted, Completed, Cancelled uint64
+	// BatchSize and GPUThreshold are the replica's current knob values
+	// (per-replica AutoTune may diverge them across the fleet).
+	BatchSize    int
+	GPUThreshold int
+	// GPUQueries counts queries served by the replica's offload lane.
+	GPUQueries uint64
+	// P50 / P95 are the replica's own windowed percentiles.
+	P50, P95 time.Duration
+	// WindowLen is the number of samples behind the percentiles.
+	WindowLen int
+	// Retunes counts the replica's AutoTune knob changes.
 	Retunes uint64
 }
 
@@ -156,8 +365,14 @@ func (st ServiceStats) MeetsSLA() bool {
 	return st.SLA > 0 && st.WindowLen > 0 && st.P95 <= st.SLA
 }
 
-// Stats returns an online snapshot of the service.
+// Stats returns an online snapshot of the service. On a fleet, P50/P95
+// are fleet-wide (over the union of the replicas' latency windows), the
+// counters are fleet-lifetime sums including removed replicas, and
+// PerReplica carries the per-replica breakdown.
 func (s *Service) Stats() ServiceStats {
+	if s.fl != nil {
+		return s.fleetStats()
+	}
 	st := s.inner.Stats()
 	return ServiceStats{
 		Model:         s.model,
@@ -174,25 +389,98 @@ func (s *Service) Stats() ServiceStats {
 		WindowLen:     st.WindowLen,
 		SLA:           st.SLA,
 		Retunes:       st.Retunes,
+		Replicas:      1,
 	}
 }
 
-// BatchSize returns the current per-request batch size.
-func (s *Service) BatchSize() int { return s.inner.BatchSize() }
+// fleetStats maps the fleet snapshot onto the public ServiceStats.
+func (s *Service) fleetStats() ServiceStats {
+	fst := s.fl.Stats()
+	st := ServiceStats{
+		Model:         s.model,
+		Submitted:     fst.Submitted,
+		Completed:     fst.Completed,
+		Cancelled:     fst.Cancelled,
+		BatchSize:     s.fl.BatchSize(),
+		GPUThreshold:  s.fl.GPUThreshold(),
+		GPUQueries:    fst.GPUQueries,
+		P50:           fst.P50,
+		P95:           fst.P95,
+		WindowLen:     fst.WindowLen,
+		GPUQueryShare: fst.GPUQueryShare,
+		GPUWorkShare:  fst.GPUWorkShare,
+		SLA:           fst.SLA,
+		Retunes:       fst.Retunes,
+		Replicas:      fst.Size,
+		RoutingPolicy: fst.Policy,
+		PerReplica:    make([]ReplicaStats, len(fst.Replicas)),
+	}
+	for i, r := range fst.Replicas {
+		st.PerReplica[i] = ReplicaStats{
+			ID:           r.ID,
+			Speed:        r.Speed,
+			HasGPU:       r.HasGPU,
+			Draining:     r.Draining,
+			Outstanding:  r.Outstanding,
+			Submitted:    r.Stats.Submitted,
+			Completed:    r.Stats.Completed,
+			Cancelled:    r.Stats.Cancelled,
+			BatchSize:    r.Stats.BatchSize,
+			GPUThreshold: r.Stats.GPUThreshold,
+			GPUQueries:   r.Stats.GPUQueries,
+			P50:          r.Stats.P50,
+			P95:          r.Stats.P95,
+			WindowLen:    r.Stats.WindowLen,
+			Retunes:      r.Stats.Retunes,
+		}
+	}
+	return st
+}
+
+// BatchSize returns the current per-request batch size (the first
+// replica's, on a fleet whose per-replica AutoTune has diverged them).
+func (s *Service) BatchSize() int {
+	if s.fl != nil {
+		return s.fl.BatchSize()
+	}
+	return s.inner.BatchSize()
+}
 
 // SetBatchSize retunes the batch size for subsequent queries (the manual
-// counterpart of AutoTune).
-func (s *Service) SetBatchSize(b int) error { return s.inner.SetBatchSize(b) }
+// counterpart of AutoTune); a fleet applies it to every replica.
+func (s *Service) SetBatchSize(b int) error {
+	if s.fl != nil {
+		return s.fl.SetBatchSize(b)
+	}
+	return s.inner.SetBatchSize(b)
+}
 
-// GPUThreshold returns the current offload threshold (0 = no offload).
-func (s *Service) GPUThreshold() int { return s.inner.GPUThreshold() }
+// GPUThreshold returns the current offload threshold (0 = no offload; on
+// a fleet, the first GPU-capable replica's).
+func (s *Service) GPUThreshold() int {
+	if s.fl != nil {
+		return s.fl.GPUThreshold()
+	}
+	return s.inner.GPUThreshold()
+}
 
 // SetGPUThreshold retunes the accelerator offload threshold for subsequent
 // queries (the manual counterpart of the AutoTune threshold walk): queries
 // of at least thr candidates are served whole by the accelerator lane; 0
-// disables offload. It fails on a service without an accelerator.
-func (s *Service) SetGPUThreshold(thr int) error { return s.inner.SetGPUThreshold(thr) }
+// disables offload. It fails on a service without an accelerator; a fleet
+// applies it to every GPU-capable replica.
+func (s *Service) SetGPUThreshold(thr int) error {
+	if s.fl != nil {
+		return s.fl.SetGPUThreshold(thr)
+	}
+	return s.inner.SetGPUThreshold(thr)
+}
 
 // Close stops accepting queries, drains every in-flight query, and shuts
-// the worker pool down. Close is idempotent.
-func (s *Service) Close() error { return s.inner.Close() }
+// the worker pool(s) down. Close is idempotent.
+func (s *Service) Close() error {
+	if s.fl != nil {
+		return s.fl.Close()
+	}
+	return s.inner.Close()
+}

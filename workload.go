@@ -27,15 +27,22 @@ func DefaultWorkload() Workload {
 }
 
 // ParseWorkload parses a workload spec of the form "<dist>[@<arrivals>]".
-// The distribution grammar is shared with cmd/loadgen and cmd/replay:
+// This is the canonical statement of the spec grammar, shared by
+// cmd/loadgen (-dist), cmd/replay (-workload), and
+// `deeprecsys serve -workload`. The size-distribution half is one of
 //
 //	production                the paper's heavy-tailed production dist
 //	lognormal[:<mu>,<sigma>]  canonical web-service comparison dist
-//	normal[:<mean>,<stddev>]  Gaussian working sets
+//	                          (defaults: ln 70 ≈ 4.25, 0.75)
+//	normal[:<mean>,<stddev>]  Gaussian working sets (defaults: 100, 40)
 //	fixed:<n>                 every query carries n items
 //
-// and arrivals is "poisson" (default) or "uniform", e.g.
+// and the arrival half is "poisson" (the default, open-loop) or "uniform"
+// (evenly spaced); the rate is bound where the stream is realized. Examples:
 // "production", "fixed:100@uniform", "lognormal:4.0,0.9".
+//
+// Drawn sizes clamp to [1, 1000] (the production distribution's observed
+// maximum, workload.MaxQuerySize).
 func ParseWorkload(spec string) (Workload, error) {
 	distSpec, arrSpec, hasArr := strings.Cut(spec, "@")
 	sizes, err := workload.ParseDist(distSpec)
