@@ -11,10 +11,14 @@
 package deeprecsys_test
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"github.com/deeprecinfra/deeprecsys/internal/experiments"
+	"github.com/deeprecinfra/deeprecsys/internal/live"
 	"github.com/deeprecinfra/deeprecsys/internal/model"
 	"github.com/deeprecinfra/deeprecsys/internal/nn"
 	"github.com/deeprecinfra/deeprecsys/internal/platform"
@@ -221,23 +225,85 @@ func BenchmarkEmbeddingBagSum80Lookups(b *testing.B) {
 	}
 }
 
+// BenchmarkModelForward measures the steady-state real-execution forward
+// pass per zoo model on the per-worker scratch path every serving lane uses
+// (allocs/op is the headline: the arena keeps it at ~zero). Three batch
+// sizes: 16 (small-query latency floor), 256 (the serving batch knob's
+// default, where the cache-blocked kernels earn their keep), and 1024
+// (MaxBatchSize, the top of the hill climb's range).
 func BenchmarkModelForward(b *testing.B) {
 	for _, name := range model.ZooNames() {
-		name := name
-		b.Run(name, func(b *testing.B) {
-			cfg, err := model.ByName(name)
-			if err != nil {
-				b.Fatal(err)
-			}
-			m := model.MustNew(cfg, 1)
-			rng := rand.New(rand.NewSource(3))
-			in := m.NewInput(rng, 16)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				m.Forward(in)
-			}
-		})
+		for _, size := range []int{16, 256, 1024} {
+			name, size := name, size
+			b.Run(fmt.Sprintf("%s/b%d", name, size), func(b *testing.B) {
+				cfg, err := model.ByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := model.MustNew(cfg, 1)
+				rng := rand.New(rand.NewSource(3))
+				in := m.NewInput(rng, size)
+				s := model.NewScratch()
+				m.ForwardInto(s, in) // warm the arena to its high-water mark
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.ForwardInto(s, in)
+				}
+			})
+		}
 	}
+}
+
+// BenchmarkLiveServiceThroughput drives the live concurrent Service end to
+// end — Submit through the CPU-lane worker pool's real forward passes and
+// top-N ranking — and reports achieved QPS and the online p95. This is the
+// tracked baseline for the real-execution serving path (allocs/op spans
+// the whole Submit round trip, dominated by per-query bookkeeping, not the
+// forward pass).
+func BenchmarkLiveServiceThroughput(b *testing.B) {
+	m := model.MustNew(mustZooCfg(b, "DLRM-RMC1"), 1)
+	svc, err := live.New(live.Config{Model: m, Workers: 2, BatchSize: 64, WindowSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	const submitters = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	queries := make(chan int, b.N)
+	for i := 0; i < b.N; i++ {
+		queries <- 64 + 16*(i%5)
+	}
+	close(queries)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for size := range queries {
+				if _, err := svc.Submit(context.Background(), live.Query{Candidates: size, TopN: 10}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	if st := svc.Stats(); st.WindowLen > 0 {
+		b.ReportMetric(st.P95.Seconds()*1e3, "p95-ms")
+	}
+}
+
+func mustZooCfg(b *testing.B, name string) model.Config {
+	b.Helper()
+	cfg, err := model.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfg
 }
 
 func BenchmarkServingSimulation(b *testing.B) {

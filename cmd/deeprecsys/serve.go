@@ -4,6 +4,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof exposes the live path's profiles
 	"os"
 	"os/signal"
 	"sync"
@@ -24,6 +26,8 @@ func serveMain(args []string) {
 	modelName := fs.String("model", "NCF", "zoo model to serve")
 	workers := fs.Int("workers", 0, "CPU worker-pool size (0 = GOMAXPROCS)")
 	batch := fs.Int("batch", 256, "initial per-request batch size")
+	intraop := fs.Int("intraop", 1, "split one big-batch request across up to this many goroutines (1 = off)")
+	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address (e.g. localhost:6060) to profile the live path")
 	gpu := fs.Bool("gpu", false, "provision the modeled accelerator offload lane")
 	threshold := fs.Int("threshold", 0, "initial offload threshold: queries >= this size go whole to the accelerator (0 = no offload; needs -gpu)")
 	sla := fs.Duration("sla", 0, "p95 target (0 = the model's published SLA)")
@@ -45,6 +49,16 @@ func serveMain(args []string) {
 	if *speed <= 0 {
 		fmt.Fprintln(os.Stderr, "serve: -speed must be positive")
 		os.Exit(2)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			// The default mux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	queries, err := driveStream(*tracePath, *wl, *arrivals, *rate, *n, *seed)
@@ -77,6 +91,7 @@ func serveMain(args []string) {
 	svc, err := sys.Serve(deeprecsys.ServeOptions{
 		Workers:       *workers,
 		BatchSize:     *batch,
+		IntraOp:       *intraop,
 		GPUThreshold:  *threshold,
 		SLA:           *sla,
 		AutoTune:      *autotune,

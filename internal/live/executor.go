@@ -34,17 +34,23 @@ type Executor interface {
 // of each query as real model forward passes. The per-request batch size is
 // read per query from the service's shared knob, so controller retunes take
 // effect on the next submission.
+//
+// Each worker owns its model.Scratch (plus intraOp-1 more when intra-query
+// splitting is enabled), so steady-state forward passes allocate nothing;
+// scratches are never shared across workers — the race-enabled live tests
+// pin that ownership rule.
 type cpuPool struct {
-	model *model.Model
-	batch *atomic.Int64 // the service's live batch-size knob
-	scale float64       // service-time stretch; the CPU lane only slows (>= 1 effective)
-	tasks chan chunk
-	wg    sync.WaitGroup
+	model   *model.Model
+	batch   *atomic.Int64 // the service's live batch-size knob
+	scale   float64       // service-time stretch; the CPU lane only slows (>= 1 effective)
+	intraOp int           // goroutines a big chunk's forward pass may fan out to
+	tasks   chan chunk
+	wg      sync.WaitGroup
 }
 
 // newCPUPool starts the worker pool.
-func newCPUPool(m *model.Model, batch *atomic.Int64, workers, queueDepth int, seed int64, scale float64) *cpuPool {
-	p := &cpuPool{model: m, batch: batch, scale: scale, tasks: make(chan chunk, queueDepth)}
+func newCPUPool(m *model.Model, batch *atomic.Int64, workers, queueDepth int, seed int64, scale float64, intraOp int) *cpuPool {
+	p := &cpuPool{model: m, batch: batch, scale: scale, intraOp: intraOp, tasks: make(chan chunk, queueDepth)}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go p.worker(rand.New(rand.NewSource(seed + int64(w))))
@@ -58,14 +64,20 @@ func newCPUPool(m *model.Model, batch *atomic.Int64, workers, queueDepth int, se
 func (p *cpuPool) worker(rng *rand.Rand) {
 	defer p.wg.Done()
 	m := p.model
+	scratches := make([]*model.Scratch, p.intraOp)
+	for i := range scratches {
+		scratches[i] = model.NewScratch()
+	}
 	for c := range p.tasks {
 		if c.q.skip.Load() {
 			c.q.retire()
 			continue
 		}
 		start := time.Now()
-		in := m.NewInput(rng, c.size)
-		out := m.Forward(in)
+		in := m.NewInputInto(scratches[0], rng, c.size)
+		// With IntraOp > 1, big-batch chunks split across the par pool for
+		// intra-query parallelism (bit-identical results).
+		out := m.ForwardMaybeSplit(scratches, in)
 		// Per-node heterogeneity: a slow node stretches real execution
 		// proportionally. Forward passes cannot be sped up, so factors
 		// below 1 yield no pad and the lane floors at real speed.
@@ -139,6 +151,7 @@ type accelerator struct {
 	slots   chan struct{} // one token per concurrent device stream
 	seq     atomic.Int64  // per-query seed stream for ranked offloads
 	seed    int64
+	scratch sync.Pool // *model.Scratch for ranked offloads (one per active stream)
 	wg      sync.WaitGroup
 }
 
@@ -148,7 +161,7 @@ func newAccelerator(m *model.Model, gpu *platform.GPU, seed int64, scale float64
 	if streams < 1 {
 		streams = 1
 	}
-	return &accelerator{
+	a := &accelerator{
 		model:   m,
 		gpu:     gpu,
 		profile: model.BuildProfile(m.Cfg),
@@ -156,6 +169,8 @@ func newAccelerator(m *model.Model, gpu *platform.GPU, seed int64, scale float64
 		slots:   make(chan struct{}, streams),
 		seed:    seed,
 	}
+	a.scratch.New = func() any { return model.NewScratch() }
+	return a
 }
 
 // Enqueue implements Executor. Admission never blocks — the device queue is
@@ -194,13 +209,15 @@ func (a *accelerator) run(iq *inflight, size int) {
 	start := time.Now()
 	if n := iq.topN; n > 0 {
 		rng := rand.New(rand.NewSource(a.seed + a.seq.Add(1)))
-		out := a.model.Forward(a.model.NewInput(rng, size))
+		s := a.scratch.Get().(*model.Scratch)
+		out := a.model.ForwardInto(s, a.model.NewInputInto(s, rng, size))
 		if n > size {
 			n = size
 		}
 		iq.mu.Lock()
 		iq.recs = append(iq.recs, model.RankTopN(out, n)...)
 		iq.mu.Unlock()
+		a.scratch.Put(s)
 	}
 	if rem := service - time.Since(start); rem > 0 {
 		time.Sleep(rem)

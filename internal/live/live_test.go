@@ -306,6 +306,63 @@ func TestSetBatchSize(t *testing.T) {
 	}
 }
 
+// TestIntraOpParallelism runs big-batch queries through a pool whose
+// workers split each chunk across the par pool — per-part scratch arenas
+// active — under concurrent submitters; -race pins the arena ownership
+// rules. Ranked results must be exactly those of a serial service with the
+// same seed, because row-split forwards are bit-identical.
+func TestIntraOpParallelism(t *testing.T) {
+	m := testModel(t)
+	serial := newService(t, Config{Model: m, Workers: 1, BatchSize: 512, Seed: 11})
+	split := newService(t, Config{Model: m, Workers: 1, BatchSize: 512, Seed: 11, IntraOp: 4})
+
+	// Both single-worker pools draw inputs from identical RNG streams, so
+	// the first query of each is directly comparable.
+	const candidates, topN = 400, 7
+	want, err := serial.Submit(context.Background(), Query{Candidates: candidates, TopN: topN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := split.Submit(context.Background(), Query{Candidates: candidates, TopN: topN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Recs) != len(want.Recs) {
+		t.Fatalf("got %d recs, want %d", len(got.Recs), len(want.Recs))
+	}
+	for i := range want.Recs {
+		if got.Recs[i] != want.Recs[i] {
+			t.Fatalf("rec %d = %+v, want %+v (intra-op split changed results)", i, got.Recs[i], want.Recs[i])
+		}
+	}
+
+	// Now hammer the split service concurrently; -race checks the arenas.
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := split.Submit(context.Background(), Query{Candidates: 300, TopN: 5}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestIntraOpValidation(t *testing.T) {
+	m := testModel(t)
+	if _, err := New(Config{Model: m, IntraOp: -1}); err == nil {
+		t.Error("negative IntraOp accepted")
+	}
+	if _, err := New(Config{Model: m, IntraOp: 65}); err == nil {
+		t.Error("oversized IntraOp accepted")
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

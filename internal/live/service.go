@@ -80,6 +80,13 @@ type Config struct {
 	WindowSize int
 	// QueueDepth bounds the request queue (default 8 per worker).
 	QueueDepth int
+	// IntraOp enables intra-query parallelism on the CPU lane: a worker
+	// splits any chunk of at least 2·model.MinSplitRows candidates
+	// row-wise across up to IntraOp goroutines (internal/par), each with
+	// its own scratch arena. Results are bit-identical to serial execution
+	// — forward passes are row-independent — so this is purely a latency
+	// knob for big-batch queries on multi-core hosts. Default 1 (off).
+	IntraOp int
 	// Seed makes the per-worker input RNGs deterministic (default 1).
 	Seed int64
 	// Scale stretches every service time by this factor (default 1) — the
@@ -142,6 +149,12 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.QueueDepth < 1 {
 		return cfg, fmt.Errorf("live: queue depth %d < 1", cfg.QueueDepth)
+	}
+	if cfg.IntraOp == 0 {
+		cfg.IntraOp = 1
+	}
+	if cfg.IntraOp < 1 || cfg.IntraOp > 64 {
+		return cfg, fmt.Errorf("live: intra-op parallelism %d outside [1, 64]", cfg.IntraOp)
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -285,7 +298,7 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.batch.Store(int64(cfg.BatchSize))
 	s.thresh.Store(int64(cfg.GPUThreshold))
-	s.cpu = newCPUPool(cfg.Model, &s.batch, cfg.Workers, cfg.QueueDepth, cfg.Seed, cfg.Scale)
+	s.cpu = newCPUPool(cfg.Model, &s.batch, cfg.Workers, cfg.QueueDepth, cfg.Seed, cfg.Scale, cfg.IntraOp)
 	if cfg.GPU != nil {
 		s.acc = newAccelerator(cfg.Model, cfg.GPU, cfg.Seed, cfg.Scale)
 	}

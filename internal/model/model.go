@@ -3,8 +3,10 @@ package model
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/deeprecinfra/deeprecsys/internal/nn"
+	"github.com/deeprecinfra/deeprecsys/internal/par"
 	"github.com/deeprecinfra/deeprecsys/internal/tensor"
 )
 
@@ -21,6 +23,10 @@ type Model struct {
 	attention  *nn.Attention
 	gru        *nn.GRU
 	predictors []*nn.MLP
+
+	// scratchPool backs the allocating Forward wrapper so callers without
+	// their own per-worker Scratch still run the arena path.
+	scratchPool sync.Pool
 }
 
 // New constructs a model with deterministically-seeded weights. It returns
@@ -31,6 +37,7 @@ func New(cfg Config, seed int64) (*Model, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	m := &Model{Cfg: cfg}
+	m.scratchPool.New = func() any { return NewScratch() }
 
 	if cfg.DenseInDim > 0 && len(cfg.DenseFC) > 0 {
 		m.dense = nn.NewMLP(rng, append([]int{cfg.DenseInDim}, cfg.DenseFC...), nn.ReLU, nn.ReLU)
@@ -92,22 +99,71 @@ type Input struct {
 // not depend on the index distribution (each lookup touches one random row
 // either way), and functional tests only need valid indices.
 func (m *Model) NewInput(rng *rand.Rand, size int) *Input {
+	return m.NewInputInto(nil, rng, size)
+}
+
+// NewInputInto is NewInput refilling the reusable input buffers held by s
+// (fresh heap buffers when s is nil): in steady state, drawing a new batch
+// of an already-seen size allocates nothing. The RNG is consumed in exactly
+// the same order as NewInput, so the two produce identical inputs from
+// identical generator states. The returned Input aliases s and is valid
+// until the next NewInputInto call on the same Scratch.
+func (m *Model) NewInputInto(s *Scratch, rng *rand.Rand, size int) *Input {
 	if size <= 0 {
 		panic(fmt.Sprintf("model: input size must be positive, got %d", size))
 	}
-	in := &Input{Size: size}
-	if m.Cfg.DenseInDim > 0 {
-		in.Dense = tensor.RandUniform(rng, size, m.Cfg.DenseInDim, 1)
+	in := &Input{}
+	if s != nil {
+		if s.input == nil {
+			s.input = in
+		}
+		in = s.input
 	}
-	in.Sparse = make([][][]int, m.Cfg.NumTables)
+	in.Size = size
+
+	if d := m.Cfg.DenseInDim; d > 0 {
+		if in.Dense == nil || cap(in.Dense.Data) < size*d {
+			in.Dense = &tensor.Tensor{Rows: size, Cols: d, Data: make([]float32, size*d)}
+		} else {
+			in.Dense.Rows, in.Dense.Cols = size, d
+			in.Dense.Data = in.Dense.Data[:size*d]
+		}
+		for i := range in.Dense.Data {
+			// Matches tensor.RandUniform(rng, size, d, 1) draw for draw.
+			in.Dense.Data[i] = rng.Float32()*2 - 1
+		}
+	} else {
+		in.Dense = nil
+	}
+
+	nt := m.Cfg.NumTables
+	if cap(in.Sparse) >= nt {
+		in.Sparse = in.Sparse[:nt]
+	} else {
+		grown := make([][][]int, nt)
+		copy(grown, in.Sparse)
+		in.Sparse = grown
+	}
 	for t := range in.Sparse {
 		lookups := m.Cfg.LookupsPerTable
 		if m.isSeqTable(t) {
 			lookups = m.Cfg.SeqLen
 		}
-		perItem := make([][]int, size)
+		perItem := in.Sparse[t]
+		if cap(perItem) >= size {
+			perItem = perItem[:size]
+		} else {
+			grown := make([][]int, size)
+			copy(grown, perItem[:cap(perItem)])
+			perItem = grown
+		}
 		for i := range perItem {
-			idxs := make([]int, lookups)
+			idxs := perItem[i]
+			if cap(idxs) >= lookups {
+				idxs = idxs[:lookups]
+			} else {
+				idxs = make([]int, lookups)
+			}
 			for j := range idxs {
 				idxs[j] = rng.Intn(m.Cfg.TableRows)
 			}
@@ -118,45 +174,133 @@ func (m *Model) NewInput(rng *rand.Rand, size int) *Input {
 	return in
 }
 
+// Slice returns a view of items [lo, hi) of the batch: the dense rows and
+// per-table index lists alias the original input. It is the row-splitting
+// primitive behind ForwardSplit.
+func (in *Input) Slice(lo, hi int) *Input {
+	if lo < 0 || hi > in.Size || lo >= hi {
+		panic(fmt.Sprintf("model: invalid input slice [%d, %d) of %d", lo, hi, in.Size))
+	}
+	s := &Input{Size: hi - lo}
+	if in.Dense != nil {
+		c := in.Dense.Cols
+		s.Dense = tensor.FromSlice(hi-lo, c, in.Dense.Data[lo*c:hi*c])
+	}
+	s.Sparse = make([][][]int, len(in.Sparse))
+	for t := range in.Sparse {
+		s.Sparse[t] = in.Sparse[t][lo:hi]
+	}
+	return s
+}
+
 // Forward computes CTR probabilities for every (user, item) pair in the
 // batch. The result is [Size x 1]: the probability for each candidate item.
 // For multi-task models the task outputs are averaged, matching the use of
 // MT-WnD's objectives as a combined ranking score.
+//
+// Forward is a thin wrapper over ForwardInto on a pooled Scratch, so it is
+// safe for concurrent use and produces bit-identical results; hot paths
+// hold their own per-worker Scratch and call ForwardInto directly.
 func (m *Model) Forward(in *Input) *tensor.Tensor {
-	features := m.assembleFeatures(in)
-	out := m.predictors[0].Forward(features)
+	s := m.scratchPool.Get().(*Scratch)
+	out := m.ForwardInto(s, in).Clone()
+	m.scratchPool.Put(s)
+	return out
+}
+
+// ForwardInto is Forward with every intermediate — pooled embeddings,
+// attention scratch, GRU state, FC activations — allocated from the
+// scratch's arena: in steady state the pass is allocation-free. The
+// returned [Size x 1] tensor aliases the arena and is valid until the next
+// ForwardInto call on the same Scratch; Clone it to retain it.
+func (m *Model) ForwardInto(s *Scratch, in *Input) *tensor.Tensor {
+	s.ar.Reset()
+	ar := &s.ar
+	features := m.assembleFeatures(s, in)
+	out := m.predictors[0].ForwardInto(ar, features)
 	if len(m.predictors) > 1 {
 		for _, p := range m.predictors[1:] {
-			out.AddInPlace(p.Forward(features))
+			out.AddInPlace(p.ForwardInto(ar, features))
 		}
 		out.Scale(1 / float32(len(m.predictors)))
 	}
 	return out
 }
 
+// ForwardMaybeSplit is the one place the intra-query split policy lives:
+// it fans out through ForwardSplit when more than one scratch is provided
+// and the batch has at least 2·MinSplitRows rows, and runs a plain
+// ForwardInto on scratches[0] otherwise. The live CPU lane and the offline
+// RealEngine both route through it, so they cannot diverge on when to
+// parallelize. Like ForwardInto, the serial path's result aliases
+// scratches[0]'s arena.
+func (m *Model) ForwardMaybeSplit(scratches []*Scratch, in *Input) *tensor.Tensor {
+	if parts := in.Size / MinSplitRows; len(scratches) > 1 && parts >= 2 {
+		return m.ForwardSplit(scratches, in, parts)
+	}
+	return m.ForwardInto(scratches[0], in)
+}
+
+// ForwardSplit computes Forward over row-disjoint slices of the batch on up
+// to parts goroutines via the internal/par pool, one Scratch per part — the
+// intra-query parallelism knob for big-batch queries. Every operator in the
+// forward pass is row-independent, so the assembled output is bit-identical
+// to a single ForwardInto over the whole batch. The result is freshly
+// heap-allocated (it outlives the per-part scratches).
+func (m *Model) ForwardSplit(scratches []*Scratch, in *Input, parts int) *tensor.Tensor {
+	if parts > len(scratches) {
+		parts = len(scratches)
+	}
+	if parts > in.Size {
+		parts = in.Size
+	}
+	if parts <= 1 {
+		return m.ForwardInto(scratches[0], in).Clone()
+	}
+	out := tensor.New(in.Size, 1)
+	chunk := (in.Size + parts - 1) / parts
+	bounds := make([]int, 0, parts)
+	for lo := 0; lo < in.Size; lo += chunk {
+		bounds = append(bounds, lo)
+	}
+	par.Map(len(bounds), bounds, func(lo int) struct{} {
+		hi := lo + chunk
+		if hi > in.Size {
+			hi = in.Size
+		}
+		res := m.ForwardInto(scratches[lo/chunk], in.Slice(lo, hi))
+		copy(out.Data[lo:hi], res.Data)
+		return struct{}{}
+	})
+	return out
+}
+
 // assembleFeatures runs the dense and sparse paths and concatenates their
-// outputs into the predictor input (the feature-interaction step).
-func (m *Model) assembleFeatures(in *Input) *tensor.Tensor {
+// outputs into the predictor input (the feature-interaction step). All
+// intermediates come from the scratch arena; the slice headers tracking
+// feature parts and behaviour sequences are reused across calls.
+func (m *Model) assembleFeatures(s *Scratch, in *Input) *tensor.Tensor {
 	if len(in.Sparse) != m.Cfg.NumTables {
 		panic(fmt.Sprintf("model %s: input has %d sparse features, want %d", m.Cfg.Name, len(in.Sparse), m.Cfg.NumTables))
 	}
-	parts := make([]*tensor.Tensor, 0, m.Cfg.NumTables+2)
+	ar := &s.ar
+	parts := s.parts[:0]
 
 	if m.Cfg.DenseInDim > 0 {
 		if in.Dense == nil {
 			panic(fmt.Sprintf("model %s: missing dense input", m.Cfg.Name))
 		}
 		if m.dense != nil {
-			parts = append(parts, m.dense.Forward(in.Dense))
+			parts = append(parts, m.dense.ForwardInto(ar, in.Dense))
 		} else {
 			parts = append(parts, in.Dense) // WnD passthrough
 		}
 	}
 
 	if m.Cfg.UseGMF {
-		u := m.bags[0].Forward(in.Sparse[0])
-		v := m.bags[1].Forward(in.Sparse[1])
-		parts = append(parts, tensor.Mul(u, v))
+		u := m.bags[0].ForwardInto(ar, in.Sparse[0])
+		v := m.bags[1].ForwardInto(ar, in.Sparse[1])
+		parts = append(parts, tensor.MulInto(u, u, v)) // u is dead after this
 	}
 
 	var query *tensor.Tensor
@@ -167,7 +311,7 @@ func (m *Model) assembleFeatures(in *Input) *tensor.Tensor {
 		if m.Cfg.UseGMF && t < 2 {
 			continue
 		}
-		pooled := m.bags[t].Forward(in.Sparse[t])
+		pooled := m.bags[t].ForwardInto(ar, in.Sparse[t])
 		if t == 1 && m.Cfg.SeqPool != SeqNone {
 			query = pooled
 		}
@@ -179,23 +323,28 @@ func (m *Model) assembleFeatures(in *Input) *tensor.Tensor {
 			panic(fmt.Sprintf("model %s: sequence pooling without item query table", m.Cfg.Name))
 		}
 		for t := 2; t < 2+m.Cfg.SeqTables; t++ {
-			history := make([]*tensor.Tensor, in.Size)
+			history := s.history[:0]
 			for i := 0; i < in.Size; i++ {
-				history[i] = m.bags[t].Table.Lookup(in.Sparse[t][i])
+				history = append(history, m.bags[t].Table.LookupInto(ar, in.Sparse[t][i]))
 			}
+			s.history = history
 			switch m.Cfg.SeqPool {
 			case SeqAttention:
-				parts = append(parts, m.attention.Forward(query, history))
+				parts = append(parts, m.attention.ForwardInto(ar, query, history))
 			case SeqAUGRU:
-				scores := m.attention.Scores(query, history)
-				parts = append(parts, m.gru.ForwardWeighted(history, scores))
+				s.scores = m.attention.ScoresInto(ar, s.scores, query, history)
+				parts = append(parts, m.gru.ForwardWeightedInto(ar, history, s.scores))
 			}
 		}
 	}
 
-	features := tensor.Concat(parts...)
-	if features.Cols != m.Cfg.InteractionDim() {
-		panic(fmt.Sprintf("model %s: assembled %d features, config promises %d", m.Cfg.Name, features.Cols, m.Cfg.InteractionDim()))
+	s.parts = parts
+	width := 0
+	for _, p := range parts {
+		width += p.Cols
 	}
-	return features
+	if width != m.Cfg.InteractionDim() {
+		panic(fmt.Sprintf("model %s: assembled %d features, config promises %d", m.Cfg.Name, width, m.Cfg.InteractionDim()))
+	}
+	return tensor.ConcatInto(ar.NewTensorUninit(in.Size, width), parts...)
 }

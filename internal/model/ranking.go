@@ -13,10 +13,24 @@ type Ranked struct {
 	CTR  float32
 }
 
+// prefer reports whether a ranks strictly ahead of b: higher CTR first,
+// ties broken by lower item index for determinism.
+func prefer(a, b Ranked) bool {
+	if a.CTR != b.CTR {
+		return a.CTR > b.CTR
+	}
+	return a.Item < b.Item
+}
+
 // RankTopN implements the product-ranking step of the serving pipeline
 // (paper Section II): given the [Size x 1] CTR output of Model.Forward, it
 // returns the top-n items by predicted CTR, highest first. Ties are broken
 // by item index for determinism.
+//
+// Selection is a bounded min-heap over the candidate stream — O(N log n)
+// instead of the O(N log N) full sort, and the only allocation is the
+// n-element result. The ranking order (including ties) is identical to
+// sorting all N candidates and truncating.
 func RankTopN(ctrs *tensor.Tensor, n int) []Ranked {
 	if ctrs.Cols != 1 {
 		panic(fmt.Sprintf("model: RankTopN expects a [N x 1] CTR tensor, got [%dx%d]", ctrs.Rows, ctrs.Cols))
@@ -24,18 +38,47 @@ func RankTopN(ctrs *tensor.Tensor, n int) []Ranked {
 	if n <= 0 {
 		return nil
 	}
-	ranked := make([]Ranked, ctrs.Rows)
-	for i := 0; i < ctrs.Rows; i++ {
-		ranked[i] = Ranked{Item: i, CTR: ctrs.Data[i]}
+	if n > ctrs.Rows {
+		n = ctrs.Rows
 	}
-	sort.Slice(ranked, func(a, b int) bool {
-		if ranked[a].CTR != ranked[b].CTR {
-			return ranked[a].CTR > ranked[b].CTR
+
+	// Fill the heap with the first n candidates, then sift: h[0] is the
+	// worst retained candidate, evicted whenever a better one streams by.
+	h := make([]Ranked, n)
+	for i := 0; i < n; i++ {
+		h[i] = Ranked{Item: i, CTR: ctrs.Data[i]}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+	for i := n; i < ctrs.Rows; i++ {
+		r := Ranked{Item: i, CTR: ctrs.Data[i]}
+		if prefer(r, h[0]) {
+			h[0] = r
+			siftDown(h, 0)
 		}
-		return ranked[a].Item < ranked[b].Item
-	})
-	if n > len(ranked) {
-		n = len(ranked)
 	}
-	return ranked[:n]
+
+	// The heap holds exactly the top-n set; order it best-first.
+	sort.Slice(h, func(a, b int) bool { return prefer(h[a], h[b]) })
+	return h
+}
+
+// siftDown restores the min-heap property (worst candidate at the root)
+// from index i.
+func siftDown(h []Ranked, i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && prefer(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && prefer(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }

@@ -29,37 +29,54 @@ func NewAttention(rng *rand.Rand, dim, hidden int) *Attention {
 	}
 }
 
+// buildFeat assembles the scorer input for one item: [T x 3·Dim] rows of
+// [history, query, history⊙query] for all T positions at once.
+func (a *Attention) buildFeat(ar *tensor.Arena, q []float32, seq *tensor.Tensor) *tensor.Tensor {
+	feat := allocUninit(ar, seq.Rows, 3*a.Dim) // every row segment is copied/written below
+	for t := 0; t < seq.Rows; t++ {
+		h := seq.Row(t)
+		row := feat.Row(t)
+		copy(row[:a.Dim], h)
+		copy(row[a.Dim:2*a.Dim], q)
+		for j := 0; j < a.Dim; j++ {
+			row[2*a.Dim+j] = h[j] * q[j]
+		}
+	}
+	return feat
+}
+
 // Forward computes, for each batch item i, the weighted sum over history[i]
 // (shape [T x Dim]) with weights produced by scoring each history vector
 // against query row i. query has shape [batch x Dim]; the result has shape
 // [batch x Dim].
 func (a *Attention) Forward(query *tensor.Tensor, history []*tensor.Tensor) *tensor.Tensor {
+	return a.ForwardInto(nil, query, history)
+}
+
+// ForwardInto is Forward with every intermediate allocated from ar (heap
+// when ar is nil). Per-item scoring scratch is reclaimed with a mark, so
+// the arena's high-water mark is one item's worth of scratch plus the
+// output.
+func (a *Attention) ForwardInto(ar *tensor.Arena, query *tensor.Tensor, history []*tensor.Tensor) *tensor.Tensor {
 	if query.Rows != len(history) {
 		panic("nn: attention batch mismatch between query rows and history entries")
 	}
-	out := tensor.New(query.Rows, a.Dim)
+	out := alloc(ar, query.Rows, a.Dim)
 	for i := 0; i < query.Rows; i++ {
+		var m tensor.Mark
+		if ar != nil {
+			m = ar.Mark()
+		}
 		q := query.Row(i)
 		seq := history[i]
-		// Build the scorer input for all T positions at once: [T x 3·Dim].
-		feat := tensor.New(seq.Rows, 3*a.Dim)
-		for t := 0; t < seq.Rows; t++ {
-			h := seq.Row(t)
-			row := feat.Row(t)
-			copy(row[:a.Dim], h)
-			copy(row[a.Dim:2*a.Dim], q)
-			for j := 0; j < a.Dim; j++ {
-				row[2*a.Dim+j] = h[j] * q[j]
-			}
-		}
-		scores := a.Scorer.Forward(feat) // [T x 1]
+		feat := a.buildFeat(ar, q, seq)
+		scores := a.Scorer.ForwardInto(ar, feat) // [T x 1]
 		dst := out.Row(i)
 		for t := 0; t < seq.Rows; t++ {
-			w := scores.Data[t]
-			h := seq.Row(t)
-			for j, v := range h {
-				dst[j] += w * v
-			}
+			tensor.AXPY(scores.Data[t], seq.Row(t), dst)
+		}
+		if ar != nil {
+			ar.Release(m)
 		}
 	}
 	return out
@@ -69,32 +86,43 @@ func (a *Attention) Forward(query *tensor.Tensor, history []*tensor.Tensor) *ten
 // the per-item query, without reducing the sequence. DIEN feeds these into
 // the attentional update gate of its GRU (AUGRU).
 func (a *Attention) Scores(query *tensor.Tensor, history []*tensor.Tensor) [][]float32 {
+	return a.ScoresInto(nil, nil, query, history)
+}
+
+// ScoresInto is Scores with scoring scratch allocated from ar and the
+// per-item score slices appended to dst (reusing its backing array). With a
+// nil arena the slices are heap-allocated; either way they remain valid
+// after the call — only the scorer's intermediates are reclaimed.
+func (a *Attention) ScoresInto(ar *tensor.Arena, dst [][]float32, query *tensor.Tensor, history []*tensor.Tensor) [][]float32 {
 	if query.Rows != len(history) {
 		panic("nn: attention batch mismatch between query rows and history entries")
 	}
-	out := make([][]float32, len(history))
+	dst = dst[:0]
 	for i := 0; i < query.Rows; i++ {
 		q := query.Row(i)
 		seq := history[i]
-		feat := tensor.New(seq.Rows, 3*a.Dim)
-		for t := 0; t < seq.Rows; t++ {
-			h := seq.Row(t)
-			row := feat.Row(t)
-			copy(row[:a.Dim], h)
-			copy(row[a.Dim:2*a.Dim], q)
-			for j := 0; j < a.Dim; j++ {
-				row[2*a.Dim+j] = h[j] * q[j]
-			}
+		var scores []float32
+		if ar != nil {
+			scores = ar.Floats(seq.Rows)
+		} else {
+			scores = make([]float32, seq.Rows)
 		}
-		raw := a.Scorer.Forward(feat) // [T x 1]
-		scores := make([]float32, seq.Rows)
+		var m tensor.Mark
+		if ar != nil {
+			m = ar.Mark()
+		}
+		feat := a.buildFeat(ar, q, seq)
+		raw := a.Scorer.ForwardInto(ar, feat) // [T x 1]
 		for t := range scores {
 			// Squash into (0,1) so the attentional update gate stays a gate.
 			scores[t] = sigmoid(raw.Data[t])
 		}
-		out[i] = scores
+		if ar != nil {
+			ar.Release(m)
+		}
+		dst = append(dst, scores)
 	}
-	return out
+	return dst
 }
 
 // FLOPsPerPosition returns the FLOPs spent per history position per item:

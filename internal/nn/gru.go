@@ -43,28 +43,60 @@ func NewGRUCell(rng *rand.Rand, in, hidden int) *GRUCell {
 // Step advances the recurrence by one position: x is [batch x in], h is
 // [batch x hidden]; the returned hidden state is [batch x hidden].
 func (g *GRUCell) Step(x, h *tensor.Tensor) *tensor.Tensor {
-	z := Sigmoid.Apply(tensor.Add(tensor.MatMulAddBias(x, g.Wz, g.Bz), tensor.MatMul(h, g.Uz)))
-	r := Sigmoid.Apply(tensor.Add(tensor.MatMulAddBias(x, g.Wr, g.Br), tensor.MatMul(h, g.Ur)))
-	cand := Tanh.Apply(tensor.Add(tensor.MatMulAddBias(x, g.Wh, g.Bh), tensor.MatMul(tensor.Mul(r, h), g.Uh)))
-	out := tensor.New(h.Rows, h.Cols)
-	for i := range out.Data {
-		zv := z.Data[i]
-		out.Data[i] = (1-zv)*h.Data[i] + zv*cand.Data[i]
-	}
-	return out
+	return g.stepInto(nil, x, h, 1, false, tensor.New(h.Rows, h.Cols))
 }
 
 // StepWeighted advances the recurrence like Step but scales the update gate
 // by attn, implementing the attentional update gate of DIEN's AUGRU: a
 // position the attention unit scores low barely perturbs the hidden state.
 func (g *GRUCell) StepWeighted(x, h *tensor.Tensor, attn float32) *tensor.Tensor {
-	z := Sigmoid.Apply(tensor.Add(tensor.MatMulAddBias(x, g.Wz, g.Bz), tensor.MatMul(h, g.Uz)))
-	r := Sigmoid.Apply(tensor.Add(tensor.MatMulAddBias(x, g.Wr, g.Br), tensor.MatMul(h, g.Ur)))
-	cand := Tanh.Apply(tensor.Add(tensor.MatMulAddBias(x, g.Wh, g.Bh), tensor.MatMul(tensor.Mul(r, h), g.Uh)))
-	out := tensor.New(h.Rows, h.Cols)
-	for i := range out.Data {
-		zv := attn * z.Data[i]
-		out.Data[i] = (1-zv)*h.Data[i] + zv*cand.Data[i]
+	return g.stepInto(nil, x, h, attn, true, tensor.New(h.Rows, h.Cols))
+}
+
+// stepInto advances the recurrence writing the next hidden state into out,
+// which must not alias x or h. Gate scratch comes from ar (heap when nil)
+// and is reclaimed before returning, so a T-step sequence holds at most one
+// step's worth of arena scratch. The kernel sequence mirrors the allocating
+// Step exactly — two separate GEMMs per gate combined elementwise — so
+// results are bit-identical.
+func (g *GRUCell) stepInto(ar *tensor.Arena, x, h *tensor.Tensor, attn float32, weighted bool, out *tensor.Tensor) *tensor.Tensor {
+	var m tensor.Mark
+	if ar != nil {
+		m = ar.Mark()
+	}
+	rows, hd := h.Rows, h.Cols
+
+	// Every gate buffer is fully overwritten by its GEMM before any read.
+	z := allocUninit(ar, rows, hd)
+	tensor.MatMulAddBiasInto(z, x, g.Wz, g.Bz)
+	t := allocUninit(ar, rows, hd)
+	tensor.MatMulInto(t, h, g.Uz)
+	Sigmoid.Apply(tensor.AddInto(z, z, t))
+
+	r := allocUninit(ar, rows, hd)
+	tensor.MatMulAddBiasInto(r, x, g.Wr, g.Br)
+	tensor.MatMulInto(t, h, g.Ur)
+	Sigmoid.Apply(tensor.AddInto(r, r, t))
+
+	cand := allocUninit(ar, rows, hd)
+	tensor.MatMulAddBiasInto(cand, x, g.Wh, g.Bh)
+	rh := tensor.MulInto(r, r, h) // r is dead after this; reuse it for r⊙h
+	tensor.MatMulInto(t, rh, g.Uh)
+	Tanh.Apply(tensor.AddInto(cand, cand, t))
+
+	if weighted {
+		for i := range out.Data {
+			zv := attn * z.Data[i]
+			out.Data[i] = (1-zv)*h.Data[i] + zv*cand.Data[i]
+		}
+	} else {
+		for i := range out.Data {
+			zv := z.Data[i]
+			out.Data[i] = (1-zv)*h.Data[i] + zv*cand.Data[i]
+		}
+	}
+	if ar != nil {
+		ar.Release(m)
 	}
 	return out
 }
@@ -95,42 +127,64 @@ func NewGRU(rng *rand.Rand, in, hidden int) *GRU {
 // time because production sequences are ragged; the recurrence itself is the
 // serial bottleneck either way.
 func (g *GRU) Forward(seqs []*tensor.Tensor) *tensor.Tensor {
+	return g.ForwardInto(nil, seqs)
+}
+
+// ForwardInto is Forward with all recurrence state allocated from ar (heap
+// when ar is nil). The hidden state ping-pongs between two arena buffers
+// per item; per-step gate scratch is reclaimed inside stepInto.
+func (g *GRU) ForwardInto(ar *tensor.Arena, seqs []*tensor.Tensor) *tensor.Tensor {
 	if len(seqs) == 0 {
 		panic("nn: GRU.Forward with empty batch")
 	}
-	out := tensor.New(len(seqs), g.Cell.HiddenDim)
-	for i, seq := range seqs {
-		h := tensor.New(1, g.Cell.HiddenDim)
-		for t := 0; t < seq.Rows; t++ {
-			x := tensor.FromSlice(1, seq.Cols, seq.Row(t))
-			h = g.Cell.Step(x, h)
-		}
-		copy(out.Row(i), h.Row(0))
-	}
-	return out
+	return g.forwardInto(ar, seqs, nil)
 }
 
 // ForwardWeighted runs the attentional recurrence (AUGRU): weights[i][t]
 // scales the update gate at position t of item i's sequence. weights must
 // match the sequence shapes exactly.
 func (g *GRU) ForwardWeighted(seqs []*tensor.Tensor, weights [][]float32) *tensor.Tensor {
+	return g.ForwardWeightedInto(nil, seqs, weights)
+}
+
+// ForwardWeightedInto is ForwardWeighted with all recurrence state
+// allocated from ar (heap when ar is nil).
+func (g *GRU) ForwardWeightedInto(ar *tensor.Arena, seqs []*tensor.Tensor, weights [][]float32) *tensor.Tensor {
 	if len(seqs) == 0 {
 		panic("nn: GRU.ForwardWeighted with empty batch")
 	}
 	if len(weights) != len(seqs) {
 		panic("nn: GRU.ForwardWeighted weights batch mismatch")
 	}
-	out := tensor.New(len(seqs), g.Cell.HiddenDim)
+	return g.forwardInto(ar, seqs, weights)
+}
+
+// forwardInto runs the recurrence; weights == nil selects the plain GRU.
+func (g *GRU) forwardInto(ar *tensor.Arena, seqs []*tensor.Tensor, weights [][]float32) *tensor.Tensor {
+	out := alloc(ar, len(seqs), g.Cell.HiddenDim)
 	for i, seq := range seqs {
-		if len(weights[i]) != seq.Rows {
+		if weights != nil && len(weights[i]) != seq.Rows {
 			panic("nn: GRU.ForwardWeighted weights length mismatch")
 		}
-		h := tensor.New(1, g.Cell.HiddenDim)
+		var m tensor.Mark
+		if ar != nil {
+			m = ar.Mark()
+		}
+		h := alloc(ar, 1, g.Cell.HiddenDim)           // initial state: zeros
+		hNext := allocUninit(ar, 1, g.Cell.HiddenDim) // fully written each step
 		for t := 0; t < seq.Rows; t++ {
-			x := tensor.FromSlice(1, seq.Cols, seq.Row(t))
-			h = g.Cell.StepWeighted(x, h, weights[i][t])
+			x := view(ar, 1, seq.Cols, seq.Row(t))
+			if weights != nil {
+				g.Cell.stepInto(ar, x, h, weights[i][t], true, hNext)
+			} else {
+				g.Cell.stepInto(ar, x, h, 1, false, hNext)
+			}
+			h, hNext = hNext, h
 		}
 		copy(out.Row(i), h.Row(0))
+		if ar != nil {
+			ar.Release(m)
+		}
 	}
 	return out
 }

@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/deeprecinfra/deeprecsys/internal/tensor"
+)
+
+// The Into variants must match the allocating layer APIs bit for bit: both
+// run the same kernels in the same order, differing only in where the
+// intermediates live. Each test runs the arena path twice (second pass over
+// reused, dirty storage) to prove results do not depend on scratch history.
+func sameBits(t *testing.T, name string, got, want *tensor.Tensor) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape [%dx%d], want [%dx%d]", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v (bit-for-bit)", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestLinearAndMLPForwardInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mlp := NewMLP(rng, []int{13, 9, 5}, ReLU, Sigmoid)
+	x := tensor.RandUniform(rng, 7, 13, 1)
+	want := mlp.Forward(x)
+	var ar tensor.Arena
+	for pass := 0; pass < 2; pass++ {
+		ar.Reset()
+		sameBits(t, "MLP.ForwardInto", mlp.ForwardInto(&ar, x), want)
+	}
+}
+
+func TestEmbeddingBagForwardInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, pool := range []Pooling{PoolSum, PoolConcat} {
+		bag := NewEmbeddingBag(rng, 100, 16, pool)
+		lookups := 1
+		if pool == PoolSum {
+			lookups = 21 // exercises the 8-way unrolled pooling plus tail
+		}
+		batch := make([][]int, 5)
+		for i := range batch {
+			idxs := make([]int, lookups)
+			for j := range idxs {
+				idxs[j] = rng.Intn(100)
+			}
+			batch[i] = idxs
+		}
+		want := bag.Forward(batch)
+		var ar tensor.Arena
+		for pass := 0; pass < 2; pass++ {
+			ar.Reset()
+			sameBits(t, "EmbeddingBag.ForwardInto/"+pool.String(), bag.ForwardInto(&ar, batch), want)
+		}
+	}
+}
+
+func TestLookupInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	table := NewEmbeddingTable(rng, 50, 8)
+	idxs := []int{3, 49, 0, 3}
+	want := table.Lookup(idxs)
+	var ar tensor.Arena
+	sameBits(t, "LookupInto", table.LookupInto(&ar, idxs), want)
+}
+
+func TestAttentionForwardAndScoresInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	att := NewAttention(rng, 8, 6)
+	batch := 3
+	query := tensor.RandUniform(rng, batch, 8, 1)
+	history := make([]*tensor.Tensor, batch)
+	for i := range history {
+		history[i] = tensor.RandUniform(rng, 5+i, 8, 1) // ragged sequences
+	}
+	wantFwd := att.Forward(query, history)
+	wantScores := att.Scores(query, history)
+
+	var ar tensor.Arena
+	var scores [][]float32
+	for pass := 0; pass < 2; pass++ {
+		ar.Reset()
+		sameBits(t, "Attention.ForwardInto", att.ForwardInto(&ar, query, history), wantFwd)
+		ar.Reset()
+		scores = att.ScoresInto(&ar, scores, query, history)
+		if len(scores) != len(wantScores) {
+			t.Fatalf("ScoresInto returned %d items, want %d", len(scores), len(wantScores))
+		}
+		for i := range wantScores {
+			for j := range wantScores[i] {
+				if scores[i][j] != wantScores[i][j] {
+					t.Fatalf("ScoresInto[%d][%d] = %v, want %v", i, j, scores[i][j], wantScores[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestGRUForwardInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	gru := NewGRU(rng, 6, 7)
+	batch := 3
+	seqs := make([]*tensor.Tensor, batch)
+	weights := make([][]float32, batch)
+	for i := range seqs {
+		seqs[i] = tensor.RandUniform(rng, 4+i, 6, 1)
+		w := make([]float32, 4+i)
+		for j := range w {
+			w[j] = rng.Float32()
+		}
+		weights[i] = w
+	}
+	wantPlain := gru.Forward(seqs)
+	wantWeighted := gru.ForwardWeighted(seqs, weights)
+
+	var ar tensor.Arena
+	for pass := 0; pass < 2; pass++ {
+		ar.Reset()
+		sameBits(t, "GRU.ForwardInto", gru.ForwardInto(&ar, seqs), wantPlain)
+		ar.Reset()
+		sameBits(t, "GRU.ForwardWeightedInto", gru.ForwardWeightedInto(&ar, seqs, weights), wantWeighted)
+	}
+}
+
+// Steady-state arena forwards must not allocate: this is the contract the
+// live CPU lane's per-worker scratches rely on.
+func TestForwardIntoSteadyStateAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mlp := NewMLP(rng, []int{32, 16, 4}, ReLU, Sigmoid)
+	x := tensor.RandUniform(rng, 8, 32, 1)
+	var ar tensor.Arena
+	mlp.ForwardInto(&ar, x) // warm the arena
+	allocs := testing.AllocsPerRun(20, func() {
+		ar.Reset()
+		mlp.ForwardInto(&ar, x)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state MLP.ForwardInto allocates %v times, want 0", allocs)
+	}
+}

@@ -7,6 +7,36 @@ import (
 	"github.com/deeprecinfra/deeprecsys/internal/tensor"
 )
 
+// alloc returns a zeroed [rows x cols] tensor from ar, or from the heap
+// when ar is nil. Every layer's allocating Forward is a thin wrapper over
+// its ForwardInto variant through this helper, so both paths execute the
+// same kernels in the same order and produce bit-identical results.
+func alloc(ar *tensor.Arena, rows, cols int) *tensor.Tensor {
+	if ar == nil {
+		return tensor.New(rows, cols)
+	}
+	return ar.NewTensor(rows, cols)
+}
+
+// allocUninit is alloc for destinations the caller fully overwrites before
+// reading, skipping the arena's zero fill (the heap path stays zeroed —
+// tensor.New is how Go allocates anyway).
+func allocUninit(ar *tensor.Arena, rows, cols int) *tensor.Tensor {
+	if ar == nil {
+		return tensor.New(rows, cols)
+	}
+	return ar.NewTensorUninit(rows, cols)
+}
+
+// view wraps data in a [rows x cols] tensor header: pooled from ar, or a
+// fresh FromSlice header when ar is nil.
+func view(ar *tensor.Arena, rows, cols int, data []float32) *tensor.Tensor {
+	if ar == nil {
+		return tensor.FromSlice(rows, cols, data)
+	}
+	return ar.View(rows, cols, data)
+}
+
 // Linear is a fully-connected layer: y = x·W + b followed by an activation.
 type Linear struct {
 	W   *tensor.Tensor // [in x out]
@@ -31,7 +61,16 @@ func (l *Linear) Out() int { return l.W.Cols }
 
 // Forward computes the layer output for a [batch x in] input.
 func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return l.Act.Apply(tensor.MatMulAddBias(x, l.W, l.B))
+	return l.ForwardInto(nil, x)
+}
+
+// ForwardInto computes the layer output for a [batch x in] input, writing
+// into scratch allocated from ar (heap when ar is nil). The result is valid
+// until the arena is reset.
+func (l *Linear) ForwardInto(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	out := allocUninit(ar, x.Rows, l.Out()) // MatMulAddBiasInto fully overwrites
+	tensor.MatMulAddBiasInto(out, x, l.W, l.B)
+	return l.Act.Apply(out)
 }
 
 // FLOPsPerItem returns the floating-point operations per batch item:
@@ -81,8 +120,17 @@ func (m *MLP) Out() int { return m.Layers[len(m.Layers)-1].Out() }
 
 // Forward runs the stack on a [batch x in] input.
 func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return m.ForwardInto(nil, x)
+}
+
+// ForwardInto runs the stack on a [batch x in] input with every
+// intermediate allocated from ar (heap when ar is nil). Intermediates stay
+// allocated until the arena is reset or released past a caller-held mark —
+// per-item callers (attention scoring, GRU steps) bracket the call with
+// Mark/Release to bound scratch growth.
+func (m *MLP) ForwardInto(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	for _, l := range m.Layers {
-		x = l.Forward(x)
+		x = l.ForwardInto(ar, x)
 	}
 	return x
 }

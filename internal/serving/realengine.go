@@ -15,14 +15,21 @@ import (
 // machine, and this machine has no modeled GPU.
 //
 // The serving simulator that drives the engine is single-threaded, so the
-// shared RNG needs no locking. "Cores" is the number of simulated workers;
-// service times are measured serially on the host, so contention between
-// simulated cores is not reflected (use PlatformEngine for contention
-// studies).
+// shared RNG and scratch need no locking. "Cores" is the number of simulated
+// workers; service times are measured serially on the host, so contention
+// between simulated cores is not reflected (use PlatformEngine for
+// contention studies). The engine owns a model.Scratch, so steady-state
+// requests execute allocation-free: measured service times reflect the
+// arithmetic, not the garbage collector.
 type RealEngine struct {
 	Model   *model.Model
 	NumCore int
 	rng     *rand.Rand
+
+	// Per-engine working memory: scratches[0] doubles as the input scratch;
+	// the rest exist only when SetParallel enabled intra-request splitting.
+	scratches []*model.Scratch
+	parallel  int
 }
 
 // NewRealEngine wraps an instantiated model as a serving engine with the
@@ -31,16 +38,38 @@ func NewRealEngine(m *model.Model, cores int, seed int64) *RealEngine {
 	if cores < 1 {
 		panic("serving: RealEngine needs at least one core")
 	}
-	return &RealEngine{Model: m, NumCore: cores, rng: rand.New(rand.NewSource(seed))}
+	return &RealEngine{
+		Model:     m,
+		NumCore:   cores,
+		rng:       rand.New(rand.NewSource(seed)),
+		scratches: []*model.Scratch{model.NewScratch()},
+		parallel:  1,
+	}
+}
+
+// SetParallel lets big-batch requests split their forward pass row-wise
+// across up to workers goroutines (internal/par), one scratch arena each.
+// Results are bit-identical to serial execution; only the measured wall
+// time changes, which is the point — the engine then reports what the host
+// can actually do with its cores. workers <= 1 restores serial execution
+// (the default, and the configuration every recorded artifact uses).
+func (e *RealEngine) SetParallel(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	e.parallel = workers
+	for len(e.scratches) < workers {
+		e.scratches = append(e.scratches, model.NewScratch())
+	}
 }
 
 // CPURequest implements Engine by timing a real forward pass. Input
 // generation happens outside the timed region: the paper's serving stack
 // receives already-materialized feature tensors from upstream services.
 func (e *RealEngine) CPURequest(batch, active int) time.Duration {
-	in := e.Model.NewInput(e.rng, batch)
+	in := e.Model.NewInputInto(e.scratches[0], e.rng, batch)
 	start := time.Now()
-	e.Model.Forward(in)
+	e.Model.ForwardMaybeSplit(e.scratches[:e.parallel], in)
 	return time.Since(start)
 }
 

@@ -1,0 +1,143 @@
+package tensor
+
+import "fmt"
+
+// Arena is a bump allocator for forward-pass scratch tensors. A worker owns
+// one Arena, resets it at the start of each forward pass, and allocates
+// every intermediate tensor from it; in steady state (once the block list
+// and header pool have grown to the high-water mark of one pass) a forward
+// pass performs no heap allocation at all.
+//
+// Storage lives in a list of fixed blocks, so growing the arena never moves
+// previously handed-out slices — a tensor allocated early in a pass stays
+// valid while later allocations extend the arena. Mark/Release rewind the
+// allocation cursor to reclaim short-lived temporaries (per-item attention
+// features, per-step GRU gates) without invalidating anything allocated
+// before the mark.
+//
+// An Arena is NOT safe for concurrent use: it is per-worker state by
+// design. The race-enabled live-serving tests exercise one arena per CPU
+// worker to pin that ownership rule.
+type Arena struct {
+	blocks [][]float32
+	block  int // block currently allocated from
+	off    int // next free element in blocks[block]
+
+	hdrs []*Tensor // pooled tensor headers, reused across Reset
+	used int       // headers handed out since Reset
+}
+
+// arenaMinBlock is the smallest block the arena allocates (in float32s):
+// 64Ki elements = 256 KiB. Requests larger than a block get a dedicated
+// power-of-two-sized block.
+const arenaMinBlock = 1 << 16
+
+// Mark is a checkpoint of an arena's allocation state; see Arena.Release.
+type Mark struct{ block, off, used int }
+
+// Reset reclaims every allocation, retaining capacity. Tensors previously
+// returned by the arena must no longer be used: their storage and headers
+// will be handed out again.
+func (a *Arena) Reset() {
+	a.block, a.off, a.used = 0, 0, 0
+}
+
+// Mark checkpoints the current allocation state.
+func (a *Arena) Mark() Mark { return Mark{a.block, a.off, a.used} }
+
+// Release rewinds the arena to a previous Mark, reclaiming every allocation
+// made since. Allocations made before the mark remain valid.
+func (a *Arena) Release(m Mark) {
+	a.block, a.off, a.used = m.block, m.off, m.used
+}
+
+// alloc hands out n contiguous float32s from the block list, appending a
+// new block when the remaining capacity of the current one (and any later
+// block from a previous high-water mark) cannot hold the request.
+func (a *Arena) alloc(n int) []float32 {
+	for a.block < len(a.blocks) {
+		blk := a.blocks[a.block]
+		if a.off+n <= len(blk) {
+			s := blk[a.off : a.off+n : a.off+n]
+			a.off += n
+			return s
+		}
+		a.block++
+		a.off = 0
+	}
+	size := arenaMinBlock
+	for size < n {
+		size <<= 1
+	}
+	blk := make([]float32, size)
+	a.blocks = append(a.blocks, blk)
+	a.block = len(a.blocks) - 1
+	a.off = n
+	return blk[0:n:n]
+}
+
+// header hands out a pooled Tensor header.
+func (a *Arena) header() *Tensor {
+	if a.used < len(a.hdrs) {
+		t := a.hdrs[a.used]
+		a.used++
+		return t
+	}
+	t := new(Tensor)
+	a.hdrs = append(a.hdrs, t)
+	a.used++
+	return t
+}
+
+// NewTensor allocates a zeroed [rows x cols] tensor from the arena. Like
+// New, the shape must be positive. The tensor is valid until the arena is
+// Reset or Released past the current mark.
+func (a *Arena) NewTensor(rows, cols int) *Tensor {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape [%d x %d]", rows, cols))
+	}
+	data := a.alloc(rows * cols)
+	for i := range data {
+		data[i] = 0
+	}
+	t := a.header()
+	t.Rows, t.Cols, t.Data = rows, cols, data
+	return t
+}
+
+// NewTensorUninit is NewTensor without the zero fill, for destinations the
+// caller fully overwrites before reading (GEMM outputs, gathers, concats).
+// The contents are stale arena garbage until written.
+func (a *Arena) NewTensorUninit(rows, cols int) *Tensor {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape [%d x %d]", rows, cols))
+	}
+	t := a.header()
+	t.Rows, t.Cols, t.Data = rows, cols, a.alloc(rows*cols)
+	return t
+}
+
+// Floats allocates a zeroed []float32 of length n from the arena, for
+// non-tensor scratch (e.g. per-position attention scores).
+func (a *Arena) Floats(n int) []float32 {
+	data := a.alloc(n)
+	for i := range data {
+		data[i] = 0
+	}
+	return data
+}
+
+// View wraps data (not copied) in a pooled [rows x cols] header. It is the
+// arena counterpart of FromSlice for building zero-allocation row views;
+// the header (not the data) is reclaimed on Reset/Release.
+func (a *Arena) View(rows, cols int, data []float32) *Tensor {
+	if rows*cols != len(data) {
+		panic(fmt.Sprintf("tensor: shape [%d x %d] incompatible with %d elements", rows, cols, len(data)))
+	}
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape [%d x %d]", rows, cols))
+	}
+	t := a.header()
+	t.Rows, t.Cols, t.Data = rows, cols, data
+	return t
+}

@@ -1,0 +1,258 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bitsEqual reports exact bit-level equality of two equal-shape tensors.
+func bitsEqual(t *testing.T, name string, got, want *Tensor) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape [%dx%d], want [%dx%d]", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v (bit-for-bit)", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// Shapes chosen to stress the blocking: row counts around the mrBlock=4
+// register block (tails of 1..3), inner dims crossing the kcBlock=512 tile
+// boundary, and degenerate single-row/column operands.
+var gemmShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 7, 5},
+	{2, 3, 9},
+	{3, 17, 1},
+	{4, 4, 4},
+	{5, 31, 13},
+	{6, 100, 33},
+	{7, 511, 3},
+	{8, 512, 7},
+	{9, 513, 5},
+	{13, 1025, 3},
+	{16, 64, 64},
+}
+
+func TestMatMulBlockedMatchesReferenceBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range gemmShapes {
+		a := RandUniform(rng, s.m, s.k, 1)
+		b := RandUniform(rng, s.k, s.n, 1)
+
+		want := New(s.m, s.n)
+		refMatMulAccum(want, a, b)
+
+		bitsEqual(t, "MatMul", MatMul(a, b), want)
+
+		dst := New(s.m, s.n)
+		dst.Fill(42) // MatMulInto must overwrite, not accumulate
+		bitsEqual(t, "MatMulInto", MatMulInto(dst, a, b), want)
+	}
+}
+
+func TestMatMulAddBiasIntoMatchesReferenceBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, s := range gemmShapes {
+		a := RandUniform(rng, s.m, s.k, 1)
+		w := RandUniform(rng, s.k, s.n, 1)
+		bias := RandUniform(rng, 1, s.n, 1)
+
+		want := New(s.m, s.n)
+		for i := 0; i < s.m; i++ {
+			copy(want.Row(i), bias.Data)
+		}
+		refMatMulAccum(want, a, w)
+
+		bitsEqual(t, "MatMulAddBias", MatMulAddBias(a, w, bias), want)
+		bitsEqual(t, "MatMulAddBiasInto", MatMulAddBiasInto(New(s.m, s.n), a, w, bias), want)
+	}
+}
+
+// The kernels must preserve reference behavior on inputs with exact zeros
+// (ReLU activations are full of them) — the case where a zero-skipping
+// shortcut could diverge in the signed-zero corner.
+func TestMatMulWithExactZeros(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := RandUniform(rng, 6, 37, 1)
+	for i := 0; i < len(a.Data); i += 3 {
+		a.Data[i] = 0
+	}
+	b := RandUniform(rng, 37, 11, 1)
+	want := New(6, 11)
+	refMatMulAccum(want, a, b)
+	bitsEqual(t, "MatMul(zeros)", MatMul(a, b), want)
+}
+
+func TestTransposeIntoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, s := range []struct{ r, c int }{{1, 1}, {1, 9}, {9, 1}, {3, 5}, {8, 8}, {17, 31}} {
+		a := RandUniform(rng, s.r, s.c, 1)
+		want := New(s.c, s.r)
+		refTransposeInto(want, a)
+		bitsEqual(t, "Transpose", Transpose(a), want)
+		bitsEqual(t, "TransposeInto", TransposeInto(New(s.c, s.r), a), want)
+	}
+}
+
+func TestTransposeShapeEdgeCases(t *testing.T) {
+	// 1xN: a row vector becomes a column vector.
+	row := FromSlice(1, 4, []float32{1, 2, 3, 4})
+	rt := Transpose(row)
+	if rt.Rows != 4 || rt.Cols != 1 {
+		t.Fatalf("1xN transpose shape [%dx%d]", rt.Rows, rt.Cols)
+	}
+	for i, v := range []float32{1, 2, 3, 4} {
+		if rt.At(i, 0) != v {
+			t.Errorf("1xN transpose [%d] = %v, want %v", i, rt.At(i, 0), v)
+		}
+	}
+
+	// Nx1: a column vector becomes a row vector.
+	col := FromSlice(3, 1, []float32{5, 6, 7})
+	ct := Transpose(col)
+	if ct.Rows != 1 || ct.Cols != 3 {
+		t.Fatalf("Nx1 transpose shape [%dx%d]", ct.Rows, ct.Cols)
+	}
+	for i, v := range []float32{5, 6, 7} {
+		if ct.At(0, i) != v {
+			t.Errorf("Nx1 transpose [%d] = %v, want %v", i, ct.At(0, i), v)
+		}
+	}
+
+	// Empty: a zero-element tensor transposes to one with swapped dims.
+	empty := &Tensor{Rows: 0, Cols: 5}
+	et := Transpose(empty)
+	if et.Rows != 5 || et.Cols != 0 || len(et.Data) != 0 {
+		t.Fatalf("empty transpose = %v", et)
+	}
+}
+
+func TestDotAndAXPYUnrolledMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 100, 101} {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+		}
+		var want float32
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); got != want {
+			t.Errorf("Dot(n=%d) = %v, want %v", n, got, want)
+		}
+
+		y := make([]float32, n)
+		wantY := make([]float32, n)
+		for i := range y {
+			y[i] = rng.Float32()
+			wantY[i] = y[i] + 0.5*a[i]
+		}
+		AXPY(0.5, a, y)
+		for i := range y {
+			if y[i] != wantY[i] {
+				t.Errorf("AXPY(n=%d)[%d] = %v, want %v", n, i, y[i], wantY[i])
+			}
+		}
+	}
+}
+
+func TestArenaReuseAndZeroing(t *testing.T) {
+	var ar Arena
+	a := ar.NewTensor(2, 3)
+	a.Fill(7)
+	ar.Reset()
+	b := ar.NewTensor(2, 3)
+	if &a.Data[0] != &b.Data[0] || a != b {
+		t.Error("arena did not reuse storage and header after Reset")
+	}
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("reused tensor not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+func TestArenaMarkRelease(t *testing.T) {
+	var ar Arena
+	keep := ar.NewTensor(1, 4)
+	keep.Fill(3)
+	m := ar.Mark()
+	tmp := ar.NewTensor(1, 8)
+	tmp.Fill(9)
+	ar.Release(m)
+	again := ar.NewTensor(1, 8)
+	if &again.Data[0] != &tmp.Data[0] {
+		t.Error("Release did not rewind the allocation cursor")
+	}
+	for _, v := range keep.Data {
+		if v != 3 {
+			t.Fatalf("allocation before the mark was clobbered: %v", keep.Data)
+		}
+	}
+}
+
+func TestArenaLargeAllocationGetsOwnBlock(t *testing.T) {
+	var ar Arena
+	small := ar.NewTensor(1, 8)
+	big := ar.NewTensor(300, 300) // 90000 > arenaMinBlock
+	small.Fill(1)
+	big.Fill(2)
+	for _, v := range small.Data {
+		if v != 1 {
+			t.Fatal("small allocation overwritten by large-block growth")
+		}
+	}
+	ar.Reset()
+	if got := ar.NewTensor(1, 8); &got.Data[0] != &small.Data[0] {
+		t.Error("Reset did not rewind to the first block")
+	}
+}
+
+func TestArenaSteadyStateAllocationFree(t *testing.T) {
+	var ar Arena
+	pass := func() {
+		ar.Reset()
+		x := ar.NewTensor(16, 32)
+		m := ar.Mark()
+		for i := 0; i < 10; i++ {
+			ar.NewTensor(8, 64)
+			ar.Floats(100)
+			ar.Release(m)
+		}
+		ar.View(32, 16, x.Data)
+	}
+	pass() // warm the block list and header pool
+	if allocs := testing.AllocsPerRun(50, pass); allocs != 0 {
+		t.Errorf("steady-state arena pass allocates %v times, want 0", allocs)
+	}
+}
+
+func TestArenaViewAliases(t *testing.T) {
+	var ar Arena
+	backing := []float32{1, 2, 3, 4, 5, 6}
+	v := ar.View(2, 3, backing)
+	v.Set(1, 2, 9)
+	if backing[5] != 9 {
+		t.Error("View copied instead of aliasing")
+	}
+}
+
+func BenchmarkMatMulBlocked256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandUniform(rng, 256, 256, 1)
+	w := RandUniform(rng, 256, 256, 1)
+	dst := New(256, 256)
+	const flopsPerOp = 2 * 256 * 256 * 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, w)
+	}
+	b.ReportMetric(flopsPerOp*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}

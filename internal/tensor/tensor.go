@@ -88,26 +88,52 @@ func Concat(ts ...*Tensor) *Tensor {
 		}
 		cols += t.Cols
 	}
-	out := New(rows, cols)
+	return ConcatInto(New(rows, cols), ts...)
+}
+
+// ConcatInto concatenates the given tensors along columns into dst, which
+// must have the row count of the inputs and their summed column count; dst
+// must not alias any input. It returns dst.
+func ConcatInto(dst *Tensor, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatInto of no tensors")
+	}
+	rows := ts[0].Rows
+	cols := 0
+	for _, t := range ts {
+		if t.Rows != rows {
+			panic(fmt.Sprintf("tensor: Concat row mismatch %d vs %d", t.Rows, rows))
+		}
+		cols += t.Cols
+	}
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("tensor: ConcatInto dst shape [%dx%d], want [%dx%d]", dst.Rows, dst.Cols, rows, cols))
+	}
 	for r := 0; r < rows; r++ {
-		dst := out.Row(r)
+		out := dst.Row(r)
 		off := 0
 		for _, t := range ts {
-			copy(dst[off:off+t.Cols], t.Row(r))
+			copy(out[off:off+t.Cols], t.Row(r))
 			off += t.Cols
 		}
 	}
-	return out
+	return dst
 }
 
 // Add returns a + b elementwise; shapes must match.
 func Add(a, b *Tensor) *Tensor {
 	mustSameShape("Add", a, b)
-	out := New(a.Rows, a.Cols)
+	return AddInto(New(a.Rows, a.Cols), a, b)
+}
+
+// AddInto computes dst = a + b elementwise; dst may alias a or b.
+func AddInto(dst, a, b *Tensor) *Tensor {
+	mustSameShape("AddInto", a, b)
+	mustSameShape("AddInto", dst, a)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
+		dst.Data[i] = a.Data[i] + b.Data[i]
 	}
-	return out
+	return dst
 }
 
 // Mul returns the elementwise (Hadamard) product a * b; shapes must match.
@@ -115,21 +141,33 @@ func Add(a, b *Tensor) *Tensor {
 // an elementwise product of user and item embeddings.
 func Mul(a, b *Tensor) *Tensor {
 	mustSameShape("Mul", a, b)
-	out := New(a.Rows, a.Cols)
+	return MulInto(New(a.Rows, a.Cols), a, b)
+}
+
+// MulInto computes the elementwise product dst = a ⊙ b; dst may alias a or b.
+func MulInto(dst, a, b *Tensor) *Tensor {
+	mustSameShape("MulInto", a, b)
+	mustSameShape("MulInto", dst, a)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
+		dst.Data[i] = a.Data[i] * b.Data[i]
 	}
-	return out
+	return dst
 }
 
 // Sub returns a - b elementwise; shapes must match.
 func Sub(a, b *Tensor) *Tensor {
 	mustSameShape("Sub", a, b)
-	out := New(a.Rows, a.Cols)
+	return SubInto(New(a.Rows, a.Cols), a, b)
+}
+
+// SubInto computes dst = a - b elementwise; dst may alias a or b.
+func SubInto(dst, a, b *Tensor) *Tensor {
+	mustSameShape("SubInto", a, b)
+	mustSameShape("SubInto", dst, a)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
+		dst.Data[i] = a.Data[i] - b.Data[i]
 	}
-	return out
+	return dst
 }
 
 // Scale multiplies every element of t by s in place and returns t.

@@ -42,6 +42,11 @@ type ServeOptions struct {
 	WindowSize int
 	// QueueDepth bounds the request queue (default 8 per worker).
 	QueueDepth int
+	// IntraOp lets a CPU worker split one big-batch request row-wise across
+	// up to this many goroutines, each with its own scratch arena — purely
+	// a latency knob for large queries on multi-core hosts; results are
+	// bit-identical to serial execution. Default 1 (off).
+	IntraOp int
 	// Replicas selects the fleet tier: with N >= 2 the service becomes a
 	// load-balancing front end sharding Submit traffic across N complete
 	// replica services, each with its own executor lanes, online latency
@@ -131,6 +136,7 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 		TuneInterval: opts.TuneInterval,
 		WindowSize:   opts.WindowSize,
 		QueueDepth:   opts.QueueDepth,
+		IntraOp:      opts.IntraOp,
 		Seed:         s.seed,
 	}
 	if opts.Replicas < 0 {
