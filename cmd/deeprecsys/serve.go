@@ -8,6 +8,8 @@ import (
 	_ "net/http/pprof" // -pprof exposes the live path's profiles
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,10 +38,16 @@ func serveMain(args []string) {
 	policy := fs.String("policy", "round-robin", "fleet routing policy: round-robin, least-loaded, or size-aware[:<n>] (needs -replicas >= 2)")
 	jitter := fs.Float64("jitter", 0, "per-replica service-time jitter: speed factors drawn from N(1, jitter^2), the offline fleet simulator's node model")
 	gpuReplicas := fs.Int("gpu-replicas", 0, "provision the accelerator on only the first n replicas (0 = all; needs -gpu)")
+	admission := fs.String("admission", "none", "admission control: none, reject, queue:<depth>, or shed-oldest[:<depth>]")
+	deadline := fs.Duration("deadline", 0, "per-query latency budget; expired queries are shed before execution (0 = none)")
+	degrade := fs.String("degrade", "none", "graceful-degradation ladder: truncate=<n> and/or fallback=<model> (comma-separated; needs -sla or a model SLA)")
+	autoscale := fs.String("autoscale", "", "fleet autoscaling bounds <min>:<max>; the fleet grows on SLA breach and shrinks on headroom (needs -replicas >= 2)")
+	chaos := fs.String("chaos", "none", "fault injection: key=value list among every=<dur>, crash=<p>, restart=<dur>, slow=<p>, factor=<f>, spike=<p>, delay=<dur> (needs -replicas >= 2)")
+	retry := fs.Bool("retry", false, "resubmit a query once when a replica crash aborts it (needs -replicas >= 2)")
 	topn := fs.Int("topn", 0, "ranked items to return per query (0 = latency only)")
 	tracePath := fs.String("trace", "", "replay a loadgen CSV trace ('-' = stdin)")
 	wl := fs.String("workload", "production", "workload spec to generate the drive stream (ignored with -trace)")
-	arrivals := fs.String("arrivals", "poisson", "arrival process for -workload: poisson or uniform")
+	arrivals := fs.String("arrivals", "poisson", "arrival process for -workload: poisson, uniform, diurnal:<amp>,<period>, flash:<mult>,<start>,<ramp>,<hold>,<decay>, or mmpp:<mult>,<meanLow>,<meanHigh>")
 	rate := fs.Float64("rate", 50, "offered arrival rate in queries/sec for -workload")
 	n := fs.Int("n", 500, "number of queries for -workload")
 	speed := fs.Float64("speed", 1, "time-scale factor: 2 replays arrivals twice as fast")
@@ -79,6 +87,11 @@ func serveMain(args []string) {
 		fmt.Fprintln(os.Stderr, "serve: -policy, -jitter, and -gpu-replicas need -replicas >= 2")
 		os.Exit(2)
 	}
+	minReplicas, maxReplicas, doScale, err := parseAutoscale(*autoscale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
 	sysOpts := []deeprecsys.Option{deeprecsys.WithSeed(*seed)}
 	if *gpu {
 		sysOpts = append(sysOpts, deeprecsys.WithGPU())
@@ -99,6 +112,14 @@ func serveMain(args []string) {
 		RoutingPolicy: *policy,
 		Jitter:        *jitter,
 		GPUReplicas:   *gpuReplicas,
+		Admission:     *admission,
+		Deadline:      *deadline,
+		Degrade:       *degrade,
+		AutoScale:     doScale,
+		MinReplicas:   minReplicas,
+		MaxReplicas:   maxReplicas,
+		Chaos:         *chaos,
+		Retry:         *retry,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -128,6 +149,12 @@ func serveMain(args []string) {
 				line := fmt.Sprintf("  %6d done  batch %4d", s.Completed, s.BatchSize)
 				if *gpu {
 					line += fmt.Sprintf("  thr %4d", s.GPUThreshold)
+				}
+				if doScale {
+					line += fmt.Sprintf("  reps %2d", s.Replicas)
+				}
+				if shed := s.Shed + s.ShedDeadline; shed > 0 {
+					line += fmt.Sprintf("  shed %5d", shed)
 				}
 				fmt.Printf("%s  online p50 %-12v p95 %v\n",
 					line, s.P50.Round(10*time.Microsecond), s.P95.Round(10*time.Microsecond))
@@ -200,6 +227,22 @@ drive:
 		}
 		fmt.Printf(" after %d retunes\n", final.Retunes)
 	}
+	if shed := final.Shed + final.ShedDeadline + final.Abandoned; shed > 0 {
+		fmt.Printf("admission: %d shed overloaded (%d evicted), %d shed on deadline, %d abandoned at close\n",
+			final.Shed, final.Evicted, final.ShedDeadline, final.Abandoned)
+	}
+	if final.DegradeSteps > 0 || final.Truncated > 0 || final.FallbackServed > 0 {
+		fmt.Printf("degrade: %d ladder moves, %d queries truncated, %d served by fallback (level %d at end)\n",
+			final.DegradeSteps, final.Truncated, final.FallbackServed, final.DegradeLevel)
+	}
+	if doScale {
+		fmt.Printf("autoscale: %d scale-ups, %d scale-downs, ended at %d replicas\n",
+			final.ScaleUps, final.ScaleDowns, final.Replicas)
+	}
+	if final.Crashes > 0 || final.Failed > 0 || final.Retried > 0 {
+		fmt.Printf("chaos: %d crashes (%d restarted), %d queries aborted, %d retried, %d/%d replicas healthy at end\n",
+			final.Crashes, final.Restarts, final.Failed, final.Retried, final.Healthy, final.Replicas)
+	}
 	if *replicas >= 2 {
 		fmt.Printf("per-replica (%s routing):\n", final.RoutingPolicy)
 		fmt.Printf("  %3s %6s %4s %8s %6s %5s %12s %12s\n",
@@ -219,6 +262,25 @@ drive:
 	} else {
 		fmt.Printf("VIOLATES the %v p95 SLA\n", final.SLA)
 	}
+}
+
+// parseAutoscale parses the -autoscale "<min>:<max>" bounds ("" = off).
+func parseAutoscale(spec string) (min, max int, on bool, err error) {
+	if spec == "" {
+		return 0, 0, false, nil
+	}
+	lo, hi, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, 0, false, fmt.Errorf("bad -autoscale %q (want <min>:<max>)", spec)
+	}
+	min, err = strconv.Atoi(lo)
+	if err == nil {
+		max, err = strconv.Atoi(hi)
+	}
+	if err != nil || min < 1 || max < min {
+		return 0, 0, false, fmt.Errorf("bad -autoscale %q (want 1 <= min <= max)", spec)
+	}
+	return min, max, true, nil
 }
 
 // driveStream loads or generates the query stream that drives the service.

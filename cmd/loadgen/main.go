@@ -26,7 +26,7 @@ func main() {
 	rate := flag.Float64("rate", 1000, "mean arrival rate in queries/sec")
 	n := flag.Int("n", 10000, "number of queries to emit")
 	dist := flag.String("dist", "production", "size distribution spec: production, lognormal[:mu,sigma], normal[:mean,stddev], fixed:<n>")
-	arrivals := flag.String("arrivals", "poisson", "arrival process: poisson or uniform")
+	arrivals := flag.String("arrivals", "poisson", "arrival process: poisson, uniform, diurnal:<amp>,<period>, flash:<mult>,<start>,<ramp>,<hold>,<decay>, or mmpp:<mult>,<meanLow>,<meanHigh>")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/live"
+)
+
+// Autoscaler decision constants, mirroring the live controller's discipline:
+// a decision needs a minimum sample base, and scale-down requires real
+// headroom under the SLA, not mere compliance, so the two directions cannot
+// oscillate against each other at the boundary.
+const (
+	asMinSamples = 32
+	asHeadroom   = 0.5
+)
+
+// AutoscaleConfig parameterizes the fleet autoscaler — the slowest layer of
+// the overload defense, above per-query admission control and the
+// per-replica degrade ladder: when sustained load exceeds what the current
+// membership can serve within the SLA, add capacity; when sustained
+// headroom shows the fleet is oversized, give it back.
+type AutoscaleConfig struct {
+	// Min / Max bound the routable fleet size the controller may set.
+	Min, Max int
+	// Interval is the decision period (default 500ms). Scaling follows the
+	// settle/reset discipline: after every membership move one interval is
+	// skipped so the next decision reads the new operating point.
+	Interval time.Duration
+	// NewConfig supplies the config for each grown replica. The caller owns
+	// seed and speed-factor assignment, so grown replicas keep the fleet's
+	// deterministic seeding and heterogeneity model.
+	NewConfig func() live.Config
+}
+
+// StartAutoscale starts the closed-loop autoscaler on a serving fleet. It
+// grows the fleet toward Max while the fleet-wide online p95 breaches the
+// SLA or admission control is actively shedding, and shrinks toward Min
+// when the p95 shows sustained headroom with no shedding. The fleet must
+// have an SLA (the replicas' shared target) for the loop to have an
+// objective. One autoscaler per fleet; Close stops it.
+func (f *Fleet) StartAutoscale(cfg AutoscaleConfig) error {
+	if cfg.Min < 1 {
+		return fmt.Errorf("fleet: autoscale min %d < 1", cfg.Min)
+	}
+	if cfg.Max < cfg.Min {
+		return fmt.Errorf("fleet: autoscale max %d < min %d", cfg.Max, cfg.Min)
+	}
+	if cfg.NewConfig == nil {
+		return errors.New("fleet: autoscale needs a replica-config factory")
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Interval < 0 {
+		return fmt.Errorf("fleet: negative autoscale interval %v", cfg.Interval)
+	}
+	if f.sla <= 0 {
+		return errors.New("fleet: autoscale requires the replicas to share an SLA target")
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if f.asStop != nil {
+		f.mu.Unlock()
+		return errors.New("fleet: autoscaler already running")
+	}
+	f.asStop = make(chan struct{})
+	f.asDone = make(chan struct{})
+	f.mu.Unlock()
+	go f.autoscaler(cfg)
+	return nil
+}
+
+// autoscaler is the controller loop. Its overload signal matches the live
+// degrader's: the merged online p95 against the SLA, plus the fleet-wide
+// shed-counter delta — under deep saturation few queries complete, so the
+// latency window alone under-reports distress.
+func (f *Fleet) autoscaler(cfg AutoscaleConfig) {
+	defer close(f.asDone)
+	ticker := time.NewTicker(cfg.Interval)
+	defer ticker.Stop()
+	slaSec := f.sla.Seconds()
+	settling := false
+	var lastShed uint64
+	for {
+		select {
+		case <-f.asStop:
+			return
+		case <-ticker.C:
+		}
+		st := f.Stats()
+		shedNow := st.Shed + st.ShedDeadline
+		shedDelta := shedNow - lastShed
+		lastShed = shedNow
+		if settling {
+			settling = false
+			continue
+		}
+		p95 := st.P95.Seconds()
+		enough := st.WindowLen >= asMinSamples
+		switch {
+		case (shedDelta > 0 || (enough && p95 > slaSec)) && st.Size < cfg.Max:
+			if _, err := f.Add(cfg.NewConfig()); err == nil {
+				f.scaleUps.Add(1)
+				settling = true
+			}
+		case enough && p95 < asHeadroom*slaSec && shedDelta == 0 && st.Size > cfg.Min:
+			if id, ok := f.newestHealthy(); ok {
+				// Remove blocks for the drain — lossless by construction —
+				// so a shrink never drops an admitted query.
+				if err := f.Remove(id); err == nil {
+					f.scaleDowns.Add(1)
+				}
+				settling = true
+			}
+		}
+	}
+}
+
+// newestHealthy returns the ID of the newest routable, healthy replica —
+// the scale-down victim (last in, first out keeps the founding replicas'
+// longer windows intact).
+func (f *Fleet) newestHealthy() (int, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for i := len(f.replicas) - 1; i >= 0; i-- {
+		r := f.replicas[i]
+		if !r.draining && !r.removing && r.healthy() {
+			return r.id, true
+		}
+	}
+	return 0, false
+}

@@ -52,6 +52,12 @@ var ErrClosed = live.ErrClosed
 // leave the fleet with no routable replica.
 var ErrLastReplica = errors.New("fleet: cannot drain the last routable replica")
 
+// ErrNoHealthyReplica is returned by Submit when every routable replica has
+// been failed by fault injection: the fleet is alive but has nowhere to
+// send the query. Distinct from ErrClosed so callers can tell an outage
+// from a shutdown.
+var ErrNoHealthyReplica = errors.New("fleet: no healthy routable replica")
+
 // replica is one member: a live.Service plus the front end's own routing
 // state. outstanding counts queries routed but not yet returned (the
 // least-loaded signal); inflight guards the drain — Remove waits on it
@@ -60,6 +66,7 @@ var ErrLastReplica = errors.New("fleet: cannot drain the last routable replica")
 type replica struct {
 	id       int
 	svc      *live.Service
+	cfg      live.Config // kept for chaos restart: a crashed replica is reborn from its own config
 	hasGPU   bool
 	speed    float64
 	draining bool // guarded by the fleet's mu
@@ -68,6 +75,9 @@ type replica struct {
 	outstanding atomic.Int64
 	inflight    sync.WaitGroup
 }
+
+// healthy reports whether the replica can serve (not failed by chaos).
+func (r *replica) healthy() bool { return !r.svc.Failed() }
 
 // Fleet shards live queries across replica services. Create one with New,
 // Submit from any number of goroutines, and Close it to drain every
@@ -84,6 +94,24 @@ type Fleet struct {
 	// Lifetime accounting for removed replicas, folded into Stats so the
 	// fleet's counters are monotone across membership changes.
 	retired live.Stats
+
+	// Front-door accounting: every query entering the fleet counts once
+	// here even when a replica failure makes it try two replicas, so the
+	// fleet's external view stays exact while per-replica counters stay
+	// per-replica truth (sum of replica Submitted == FrontSubmitted +
+	// Retried).
+	frontSubmitted atomic.Uint64
+	retried        atomic.Uint64
+	retry          atomic.Bool // one retry on ErrReplicaDown enabled
+
+	// Elasticity and chaos lifetime counters.
+	scaleUps   atomic.Uint64
+	scaleDowns atomic.Uint64
+	crashes    atomic.Uint64
+	restarts   atomic.Uint64
+
+	asStop, asDone chan struct{} // autoscaler lifecycle
+	chStop, chDone chan struct{} // chaos-controller lifecycle
 }
 
 // New starts one live.Service per config and returns a serving Fleet.
@@ -125,6 +153,7 @@ func (f *Fleet) add(cfg live.Config) (int, error) {
 	f.replicas = append(f.replicas, &replica{
 		id:     id,
 		svc:    svc,
+		cfg:    cfg,
 		hasGPU: cfg.GPU != nil,
 		speed:  svc.Scale(),
 	})
@@ -170,7 +199,9 @@ func (f *Fleet) find(id int) *replica {
 // route picks the serving replica for a query of `size` items and pins it:
 // the returned replica's outstanding count and in-flight group are already
 // incremented, so a concurrent drain waits for this query. The caller must
-// release both when the submission returns.
+// release both when the submission returns. Routing is health-checked:
+// replicas failed by fault injection are ejected from the candidate set, so
+// a crash diverts traffic instead of black-holing it.
 func (f *Fleet) route(size int) (*replica, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -179,8 +210,13 @@ func (f *Fleet) route(size int) (*replica, error) {
 	}
 	cands := make([]Candidate, 0, len(f.replicas))
 	routable := make([]*replica, 0, len(f.replicas))
+	any := false
 	for _, r := range f.replicas {
 		if r.draining {
+			continue
+		}
+		any = true
+		if !r.healthy() {
 			continue
 		}
 		cands = append(cands, Candidate{
@@ -192,6 +228,9 @@ func (f *Fleet) route(size int) (*replica, error) {
 		routable = append(routable, r)
 	}
 	if len(routable) == 0 {
+		if any {
+			return nil, ErrNoHealthyReplica
+		}
 		return nil, ErrClosed
 	}
 	idx := f.policy.Pick(size, cands)
@@ -208,7 +247,23 @@ func (f *Fleet) route(size int) (*replica, error) {
 // until it completes, ctx is cancelled, or the fleet closes. It returns
 // the serving replica's ID alongside the reply and is safe for concurrent
 // use from any number of goroutines.
+//
+// When retry-on-failure is enabled (SetRetry) a query aborted by a replica
+// crash (live.ErrReplicaDown) is resubmitted exactly once; health-checked
+// routing steers the retry away from the dead replica. The front-door
+// counters record the query once regardless of how many replicas it tried.
 func (f *Fleet) Submit(ctx context.Context, q live.Query) (live.Reply, int, error) {
+	f.frontSubmitted.Add(1)
+	reply, id, err := f.submitOnce(ctx, q)
+	if err != nil && errors.Is(err, live.ErrReplicaDown) && f.retry.Load() && ctx.Err() == nil {
+		f.retried.Add(1)
+		reply, id, err = f.submitOnce(ctx, q)
+	}
+	return reply, id, err
+}
+
+// submitOnce is one routing + submission attempt.
+func (f *Fleet) submitOnce(ctx context.Context, q live.Query) (live.Reply, int, error) {
 	r, err := f.route(q.Candidates)
 	if err != nil {
 		return live.Reply{}, -1, err
@@ -218,6 +273,9 @@ func (f *Fleet) Submit(ctx context.Context, q live.Query) (live.Reply, int, erro
 	reply, err := r.svc.Submit(ctx, q)
 	return reply, r.id, err
 }
+
+// SetRetry enables or disables the fleet's one-retry-on-crash behavior.
+func (f *Fleet) SetRetry(on bool) { f.retry.Store(on) }
 
 // Drain excludes a replica from routing while letting its in-flight
 // queries finish; the replica keeps running (its AutoTune controller
@@ -280,6 +338,14 @@ func (f *Fleet) Remove(id int) error {
 	f.retired.Retunes += st.Retunes
 	f.retired.WorkItems += st.WorkItems
 	f.retired.GPUItems += st.GPUItems
+	f.retired.Shed += st.Shed
+	f.retired.Evicted += st.Evicted
+	f.retired.ShedDeadline += st.ShedDeadline
+	f.retired.Abandoned += st.Abandoned
+	f.retired.Failed += st.Failed
+	f.retired.Truncated += st.Truncated
+	f.retired.FallbackServed += st.FallbackServed
+	f.retired.DegradeSteps += st.DegradeSteps
 	for i, cur := range f.replicas {
 		if cur == r {
 			f.replicas = append(f.replicas[:i], f.replicas[i+1:]...)
@@ -368,6 +434,9 @@ type ReplicaStats struct {
 	HasGPU bool
 	// Draining reports whether the replica is excluded from routing.
 	Draining bool
+	// Failed reports whether the replica has been crashed by fault
+	// injection (ejected from routing until its chaos restart).
+	Failed bool
 	// Outstanding is the number of routed-but-unreturned queries.
 	Outstanding int
 	// Stats is the replica's own online snapshot.
@@ -399,6 +468,26 @@ type Stats struct {
 	WindowLen int
 	// SLA is the replicas' shared p95 target (0 = none).
 	SLA time.Duration
+	// Overload and failure counters, fleet-lifetime sums over current
+	// members plus removed replicas: Shed / Evicted / ShedDeadline /
+	// Abandoned mirror the live.Stats admission counters, Failed counts
+	// queries aborted by replica crashes, and Truncated / FallbackServed /
+	// DegradeSteps mirror the degrade-ladder counters.
+	Shed, Evicted, ShedDeadline, Abandoned uint64
+	Failed                                 uint64
+	Truncated, FallbackServed              uint64
+	DegradeSteps                           uint64
+	// FrontSubmitted counts queries entering the fleet's front door —
+	// each query once, however many replicas it tried — and Retried the
+	// crash-triggered second attempts, so sum(replica Submitted) ==
+	// FrontSubmitted + Retried.
+	FrontSubmitted, Retried uint64
+	// ScaleUps / ScaleDowns count autoscaler membership moves; Crashes /
+	// Restarts count chaos-injected replica failures and their recoveries.
+	ScaleUps, ScaleDowns uint64
+	Crashes, Restarts    uint64
+	// Healthy is the number of routable replicas that are not failed.
+	Healthy int
 	// Replicas holds the per-replica snapshots in ID order.
 	Replicas []ReplicaStats
 }
@@ -414,15 +503,29 @@ func (f *Fleet) Stats() Stats {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	st := Stats{
-		Policy:     f.policy.Name(),
-		Size:       f.routable(),
-		SLA:        f.sla,
-		Submitted:  f.retired.Submitted,
-		Completed:  f.retired.Completed,
-		Cancelled:  f.retired.Cancelled,
-		GPUQueries: f.retired.GPUQueries,
-		Retunes:    f.retired.Retunes,
-		Replicas:   make([]ReplicaStats, 0, len(f.replicas)),
+		Policy:         f.policy.Name(),
+		Size:           f.routable(),
+		SLA:            f.sla,
+		Submitted:      f.retired.Submitted,
+		Completed:      f.retired.Completed,
+		Cancelled:      f.retired.Cancelled,
+		GPUQueries:     f.retired.GPUQueries,
+		Retunes:        f.retired.Retunes,
+		Shed:           f.retired.Shed,
+		Evicted:        f.retired.Evicted,
+		ShedDeadline:   f.retired.ShedDeadline,
+		Abandoned:      f.retired.Abandoned,
+		Failed:         f.retired.Failed,
+		Truncated:      f.retired.Truncated,
+		FallbackServed: f.retired.FallbackServed,
+		DegradeSteps:   f.retired.DegradeSteps,
+		FrontSubmitted: f.frontSubmitted.Load(),
+		Retried:        f.retried.Load(),
+		ScaleUps:       f.scaleUps.Load(),
+		ScaleDowns:     f.scaleDowns.Load(),
+		Crashes:        f.crashes.Load(),
+		Restarts:       f.restarts.Load(),
+		Replicas:       make([]ReplicaStats, 0, len(f.replicas)),
 	}
 	var merged []float64
 	gpuItems := f.retired.GPUItems
@@ -434,14 +537,26 @@ func (f *Fleet) Stats() Stats {
 		st.Cancelled += rs.Cancelled
 		st.GPUQueries += rs.GPUQueries
 		st.Retunes += rs.Retunes
+		st.Shed += rs.Shed
+		st.Evicted += rs.Evicted
+		st.ShedDeadline += rs.ShedDeadline
+		st.Abandoned += rs.Abandoned
+		st.Failed += rs.Failed
+		st.Truncated += rs.Truncated
+		st.FallbackServed += rs.FallbackServed
+		st.DegradeSteps += rs.DegradeSteps
 		gpuItems += rs.GPUItems
 		workItems += rs.WorkItems
+		if !r.draining && r.healthy() {
+			st.Healthy++
+		}
 		merged = append(merged, r.svc.LatencySnapshot()...)
 		st.Replicas = append(st.Replicas, ReplicaStats{
 			ID:          r.id,
 			Speed:       r.speed,
 			HasGPU:      r.hasGPU,
 			Draining:    r.draining,
+			Failed:      !r.healthy(),
 			Outstanding: int(r.outstanding.Load()),
 			Stats:       rs,
 		})
@@ -471,7 +586,19 @@ func (f *Fleet) Close() error {
 	}
 	f.closed = true
 	members := append([]*replica(nil), f.replicas...)
+	asStop, asDone := f.asStop, f.asDone
+	chStop, chDone := f.chStop, f.chDone
 	f.mu.Unlock()
+
+	// Stop the controllers first so no membership change races the drain.
+	if asStop != nil {
+		close(asStop)
+		<-asDone
+	}
+	if chStop != nil {
+		close(chStop)
+		<-chDone
+	}
 
 	errs := make([]error, len(members))
 	var wg sync.WaitGroup

@@ -1,0 +1,127 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+)
+
+// DegradeConfig describes the graceful-degradation ladder: what the
+// service is allowed to give up, in order, to keep admitting traffic under
+// sustained overload. The zero value disables degradation.
+//
+// The ladder has up to two rungs above normal service:
+//
+//	level 0  full service (every candidate scored by the primary model)
+//	level 1  truncated slate: queries larger than Truncate are cut to
+//	         their first Truncate candidates before execution — top-N
+//	         quality over a smaller slate, a roughly proportional cut in
+//	         per-query compute
+//	level 2  cheaper model: forward passes run the Fallback zoo variant
+//	         on the CPU lane (in addition to truncation when configured)
+//
+// Rungs that are not configured are skipped: with only Fallback set the
+// ladder is 0 → fallback; with only Truncate set it is 0 → truncated.
+type DegradeConfig struct {
+	// Truncate caps the candidate slate under degradation (0 = no
+	// truncation rung).
+	Truncate int
+	// Fallback is the cheaper model variant served under deep overload
+	// (nil = no fallback rung). Fallback queries are executed on the CPU
+	// lane: degradation exists to shed compute, and the cheap variant no
+	// longer benefits from offload.
+	Fallback *model.Model
+}
+
+// rungs expands the config into the ladder's levels, level 0 first.
+func (d DegradeConfig) rungs() []degradeRung {
+	levels := []degradeRung{{}}
+	if d.Truncate > 0 {
+		levels = append(levels, degradeRung{truncate: d.Truncate})
+	}
+	if d.Fallback != nil {
+		levels = append(levels, degradeRung{truncate: d.Truncate, fallback: true})
+	}
+	return levels
+}
+
+// enabled reports whether any rung above normal service exists.
+func (d DegradeConfig) enabled() bool { return d.Truncate > 0 || d.Fallback != nil }
+
+// degradeRung is one level of the ladder.
+type degradeRung struct {
+	truncate int  // cap on the candidate slate (0 = none)
+	fallback bool // serve with the cheaper model on the CPU lane
+}
+
+// degrader is the SLA-aware controller that walks the degrade ladder: the
+// middle layer of the overload defense, between per-query admission
+// control (instantaneous) and the fleet autoscaler (slow). It runs on the
+// same settle/reset discipline as the two-knob hill climb: one level move
+// per decision, window reset after every move, one interval skipped so the
+// next decision reads only samples from the new operating point.
+//
+// The step-up signal is sustained overload: the measured p95 over the
+// breach threshold, or admission control actively shedding (under deep
+// saturation few queries complete, so the shed counter — not the latency
+// window — is the reliable signal). The step-down signal is restored
+// headroom: p95 under headroomFrac of the SLA with no shedding in the
+// interval.
+func (s *Service) degrader() {
+	defer close(s.degDone)
+	ticker := time.NewTicker(s.cfg.TuneInterval)
+	defer ticker.Stop()
+	slaSec := s.cfg.SLA.Seconds()
+	settling := false
+	lastShed := s.shed.Load() + s.shedDeadline.Load()
+	for {
+		select {
+		case <-s.degStop:
+			return
+		case <-ticker.C:
+		}
+		shedNow := s.shed.Load() + s.shedDeadline.Load()
+		shedDelta := shedNow - lastShed
+		lastShed = shedNow
+		if settling {
+			settling = false
+			s.win.Reset()
+			continue
+		}
+		p95 := s.win.Percentile(95)
+		enough := s.win.Len() >= minTuneSamples
+		lvl := int(s.degLevel.Load())
+		switch {
+		case shedDelta > 0 || (enough && p95 > slaSec):
+			if lvl+1 < len(s.degLadder) {
+				s.degLevel.Store(int32(lvl + 1))
+				s.degradeSteps.Add(1)
+				s.win.Reset()
+				settling = true
+			}
+		case enough && p95 < headroomFrac*slaSec && shedDelta == 0:
+			if lvl > 0 {
+				s.degLevel.Store(int32(lvl - 1))
+				s.degradeSteps.Add(1)
+				s.win.Reset()
+				settling = true
+			}
+		}
+	}
+}
+
+// DegradeLevel returns the current degrade level (0 = full service).
+func (s *Service) DegradeLevel() int { return int(s.degLevel.Load()) }
+
+// SetDegradeLevel pins the degrade level manually (the counterpart of the
+// SLA-aware controller, which may move it again when enabled). Levels
+// index the configured ladder: 0 is full service, len(ladder)-1 the
+// deepest configured degradation.
+func (s *Service) SetDegradeLevel(level int) error {
+	if level < 0 || level >= len(s.degLadder) {
+		return fmt.Errorf("live: degrade level %d outside [0, %d]", level, len(s.degLadder)-1)
+	}
+	s.degLevel.Store(int32(level))
+	return nil
+}

@@ -42,14 +42,14 @@ type Executor interface {
 type cpuPool struct {
 	model   *model.Model
 	batch   *atomic.Int64 // the service's live batch-size knob
-	scale   float64       // service-time stretch; the CPU lane only slows (>= 1 effective)
+	scale   *atomicScale  // live service-time stretch; the CPU lane only slows (>= 1 effective)
 	intraOp int           // goroutines a big chunk's forward pass may fan out to
 	tasks   chan chunk
 	wg      sync.WaitGroup
 }
 
 // newCPUPool starts the worker pool.
-func newCPUPool(m *model.Model, batch *atomic.Int64, workers, queueDepth int, seed int64, scale float64, intraOp int) *cpuPool {
+func newCPUPool(m *model.Model, batch *atomic.Int64, workers, queueDepth int, seed int64, scale *atomicScale, intraOp int) *cpuPool {
 	p := &cpuPool{model: m, batch: batch, scale: scale, intraOp: intraOp, tasks: make(chan chunk, queueDepth)}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -63,7 +63,6 @@ func newCPUPool(m *model.Model, batch *atomic.Int64, workers, queueDepth int, se
 // output) a per-chunk top-N selection merged at query completion.
 func (p *cpuPool) worker(rng *rand.Rand) {
 	defer p.wg.Done()
-	m := p.model
 	scratches := make([]*model.Scratch, p.intraOp)
 	for i := range scratches {
 		scratches[i] = model.NewScratch()
@@ -73,6 +72,14 @@ func (p *cpuPool) worker(rng *rand.Rand) {
 			c.q.retire()
 			continue
 		}
+		// The chunk executes its query's model — the fallback variant under
+		// deep degradation, the service model otherwise. Scratches are
+		// model-agnostic (NewInputInto re-derives shapes per call), so one
+		// worker can alternate freely between variants.
+		m := c.q.m
+		if m == nil {
+			m = p.model
+		}
 		start := time.Now()
 		in := m.NewInputInto(scratches[0], rng, c.size)
 		// With IntraOp > 1, big-batch chunks split across the par pool for
@@ -80,8 +87,9 @@ func (p *cpuPool) worker(rng *rand.Rand) {
 		out := m.ForwardMaybeSplit(scratches, in)
 		// Per-node heterogeneity: a slow node stretches real execution
 		// proportionally. Forward passes cannot be sped up, so factors
-		// below 1 yield no pad and the lane floors at real speed.
-		if pad := time.Duration(float64(time.Since(start)) * (p.scale - 1)); pad > 0 {
+		// below 1 yield no pad and the lane floors at real speed. The factor
+		// is read per chunk so chaos slowdown injection applies immediately.
+		if pad := time.Duration(float64(time.Since(start)) * (p.scale.Load() - 1)); pad > 0 {
 			time.Sleep(pad)
 		}
 		if n := c.q.topN; n > 0 {
@@ -147,7 +155,7 @@ type accelerator struct {
 	model   *model.Model
 	gpu     *platform.GPU
 	profile model.Profile
-	scale   float64       // service-time stretch on the modeled device time
+	scale   *atomicScale  // live service-time stretch on the modeled device time
 	slots   chan struct{} // one token per concurrent device stream
 	seq     atomic.Int64  // per-query seed stream for ranked offloads
 	seed    int64
@@ -156,7 +164,7 @@ type accelerator struct {
 }
 
 // newAccelerator builds the lane for one device model.
-func newAccelerator(m *model.Model, gpu *platform.GPU, seed int64, scale float64) *accelerator {
+func newAccelerator(m *model.Model, gpu *platform.GPU, seed int64, scale *atomicScale) *accelerator {
 	streams := gpu.Streams
 	if streams < 1 {
 		streams = 1
@@ -205,12 +213,16 @@ func (a *accelerator) run(iq *inflight, size int) {
 		iq.retire() // cancelled during the wait: consume no device time
 		return
 	}
-	service := time.Duration(float64(a.gpu.QueryTime(a.profile, size)) * a.scale)
+	service := time.Duration(float64(a.gpu.QueryTime(a.profile, size)) * a.scale.Load())
 	start := time.Now()
 	if n := iq.topN; n > 0 {
+		m := iq.m
+		if m == nil {
+			m = a.model
+		}
 		rng := rand.New(rand.NewSource(a.seed + a.seq.Add(1)))
 		s := a.scratch.Get().(*model.Scratch)
-		out := a.model.ForwardInto(s, a.model.NewInputInto(s, rng, size))
+		out := m.ForwardInto(s, m.NewInputInto(s, rng, size))
 		if n > size {
 			n = size
 		}

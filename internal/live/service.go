@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -42,6 +43,13 @@ import (
 
 // ErrClosed is returned by Submit after Close has begun.
 var ErrClosed = errors.New("live: service closed")
+
+// ErrReplicaDown is returned by Submit when the service has been failed by
+// fault injection (Fail): in-flight queries are aborted and new queries
+// refused, modeling a crashed serving process whose callers see connection
+// errors. A fleet front end treats it as a health signal — it stops
+// routing to the replica and may retry the query elsewhere.
+var ErrReplicaDown = errors.New("live: replica down")
 
 // MaxBatchSize caps the per-request batch size, matching the range the
 // paper's hill climb explores (up to 1024).
@@ -87,6 +95,23 @@ type Config struct {
 	// — forward passes are row-independent — so this is purely a latency
 	// knob for big-batch queries on multi-core hosts. Default 1 (off).
 	IntraOp int
+	// Admission bounds the work the service accepts: at most
+	// Admission.Concurrency queries execute at once, and the policy
+	// decides the fate of arrivals beyond that — shed immediately, queue
+	// bounded, or shed the oldest waiter. The zero value disables
+	// admission control (the pre-admission behavior: backpressure only
+	// from the lane queues, tail latency unbounded at saturation).
+	Admission AdmissionConfig
+	// Deadline is the per-query latency budget Submit applies when the
+	// caller's context carries no deadline of its own (0 = none). Queries
+	// whose deadline has already expired are shed before consuming an
+	// admission slot or a forward pass.
+	Deadline time.Duration
+	// Degrade configures the graceful-degradation ladder (truncated
+	// candidate slates, then a cheaper fallback model). The SLA-aware
+	// degrade controller runs when the ladder is non-empty and an SLA is
+	// set; SetDegradeLevel moves the ladder manually either way.
+	Degrade DegradeConfig
 	// Seed makes the per-worker input RNGs deterministic (default 1).
 	Seed int64
 	// Scale stretches every service time by this factor (default 1) — the
@@ -150,6 +175,29 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.QueueDepth < 1 {
 		return cfg, fmt.Errorf("live: queue depth %d < 1", cfg.QueueDepth)
 	}
+	if cfg.Admission.Policy < AdmitAll || cfg.Admission.Policy > AdmitShedOldest {
+		return cfg, fmt.Errorf("live: unknown admission policy %d", cfg.Admission.Policy)
+	}
+	if cfg.Admission.Policy != AdmitAll {
+		if cfg.Admission.Concurrency == 0 {
+			cfg.Admission.Concurrency = 2 * cfg.Workers
+		}
+		if cfg.Admission.Concurrency < 1 {
+			return cfg, fmt.Errorf("live: admission concurrency %d < 1", cfg.Admission.Concurrency)
+		}
+		if cfg.Admission.Depth == 0 {
+			cfg.Admission.Depth = 4 * cfg.Admission.Concurrency
+		}
+		if cfg.Admission.Depth < 1 {
+			return cfg, fmt.Errorf("live: admission queue depth %d < 1", cfg.Admission.Depth)
+		}
+	}
+	if cfg.Deadline < 0 {
+		return cfg, fmt.Errorf("live: negative deadline %v", cfg.Deadline)
+	}
+	if cfg.Degrade.Truncate < 0 || cfg.Degrade.Truncate > workload.MaxQuerySize {
+		return cfg, fmt.Errorf("live: degrade truncation %d outside [0, %d]", cfg.Degrade.Truncate, workload.MaxQuerySize)
+	}
 	if cfg.IntraOp == 0 {
 		cfg.IntraOp = 1
 	}
@@ -188,6 +236,10 @@ type Reply struct {
 	BatchSize int
 	// Offloaded reports whether the accelerator lane served the query.
 	Offloaded bool
+	// Degraded reports whether the fallback model served the query (the
+	// deepest rung of the degrade ladder; slate truncation alone does not
+	// set it).
+	Degraded bool
 }
 
 // Stats is an online snapshot of the service.
@@ -222,6 +274,27 @@ type Stats struct {
 	// Retunes counts knob changes (batch size or offload threshold) made
 	// by the controller.
 	Retunes uint64
+	// Shed counts queries refused with ErrOverloaded by admission control,
+	// each exactly once (rejections, full-queue sheds, and shed-oldest
+	// evictions); Evicted is the shed-oldest subset. ShedDeadline counts queries shed before
+	// execution because their deadline had already expired (at arrival or
+	// during the queue wait). Abandoned counts queued-but-unstarted
+	// queries flushed with ErrShutdown at Close.
+	Shed, Evicted, ShedDeadline, Abandoned uint64
+	// Queued is the current admission-queue length (a gauge, not a
+	// lifetime count).
+	Queued int
+	// DegradeLevel is the current rung of the degrade ladder (0 = full
+	// service); DegradeSteps counts the controller's level moves.
+	// Truncated counts queries served over a truncated candidate slate
+	// and FallbackServed queries served by the cheaper fallback model.
+	DegradeLevel   int
+	DegradeSteps   uint64
+	Truncated      uint64
+	FallbackServed uint64
+	// Failed counts queries aborted with ErrReplicaDown by fault
+	// injection (in-flight at Fail, or arriving while failed).
+	Failed uint64
 }
 
 // MeetsSLA reports whether the online p95 is within the target (false when
@@ -234,6 +307,7 @@ func (s Stats) MeetsSLA() bool {
 // chunks on the CPU lane, a single whole-query request when offloaded.
 type inflight struct {
 	topN    int
+	m       *model.Model // model serving this query (fallback under degrade)
 	batch   int          // execution granularity, set by the serving lane
 	pending atomic.Int32 // outstanding units; closing done at zero
 	skip    atomic.Bool  // cancelled: lanes drop remaining work
@@ -265,7 +339,19 @@ type Service struct {
 	acc    *accelerator // nil = CPU-only
 	batch  atomic.Int64
 	thresh atomic.Int64 // offload threshold; 0 = no offload
+	scale  atomicScale  // dynamic service-time stretch (chaos slowdowns)
+	delay  atomic.Int64 // injected per-query latency in ns (chaos spikes)
 	win    *stats.Window
+
+	adm *admission // nil = admission control off
+
+	degLadder []degradeRung
+	degLevel  atomic.Int32
+	degStop   chan struct{}
+	degDone   chan struct{}
+
+	failed atomic.Bool
+	failCh chan struct{} // closed by Fail: aborts waits promptly
 
 	mu       sync.Mutex
 	closed   bool
@@ -279,11 +365,29 @@ type Service struct {
 	cancelled atomic.Uint64
 	retunes   atomic.Uint64
 
+	shed         atomic.Uint64 // overload sheds (ErrOverloaded), incl. evictions
+	evicted      atomic.Uint64 // shed-oldest victims (subset of shed)
+	shedDeadline atomic.Uint64 // shed pre-execution on an expired deadline
+	failedQ      atomic.Uint64 // queries aborted by Fail (ErrReplicaDown)
+	abandoned    atomic.Uint64 // queued-but-unstarted queries flushed at Close
+
+	truncated      atomic.Uint64 // queries served over a truncated slate
+	fallbackServed atomic.Uint64 // queries served by the fallback model
+	degradeSteps   atomic.Uint64 // degrade-level moves by the controller
+
 	gpuQueries atomic.Uint64
 	cpuQueries atomic.Uint64
 	gpuItems   atomic.Uint64
 	cpuItems   atomic.Uint64
 }
+
+// atomicScale is a lock-free float64 cell for the service-time scale
+// factor, written by chaos slowdown injection and read per chunk/query by
+// the executor lanes.
+type atomicScale struct{ bits atomic.Uint64 }
+
+func (a *atomicScale) Store(f float64) { a.bits.Store(math.Float64bits(f)) }
+func (a *atomicScale) Load() float64   { return math.Float64frombits(a.bits.Load()) }
 
 // New starts the executor lanes (and the controller when configured) and
 // returns a running Service.
@@ -293,19 +397,30 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{
-		cfg: cfg,
-		win: stats.NewWindow(cfg.WindowSize),
+		cfg:       cfg,
+		win:       stats.NewWindow(cfg.WindowSize),
+		degLadder: cfg.Degrade.rungs(),
+		failCh:    make(chan struct{}),
 	}
 	s.batch.Store(int64(cfg.BatchSize))
 	s.thresh.Store(int64(cfg.GPUThreshold))
-	s.cpu = newCPUPool(cfg.Model, &s.batch, cfg.Workers, cfg.QueueDepth, cfg.Seed, cfg.Scale, cfg.IntraOp)
+	s.scale.Store(cfg.Scale)
+	if cfg.Admission.Policy != AdmitAll {
+		s.adm = newAdmission(cfg.Admission)
+	}
+	s.cpu = newCPUPool(cfg.Model, &s.batch, cfg.Workers, cfg.QueueDepth, cfg.Seed, &s.scale, cfg.IntraOp)
 	if cfg.GPU != nil {
-		s.acc = newAccelerator(cfg.Model, cfg.GPU, cfg.Seed, cfg.Scale)
+		s.acc = newAccelerator(cfg.Model, cfg.GPU, cfg.Seed, &s.scale)
 	}
 	if cfg.AutoTune {
 		s.ctrlStop = make(chan struct{})
 		s.ctrlDone = make(chan struct{})
 		go s.controller()
+	}
+	if cfg.Degrade.enabled() && cfg.SLA > 0 {
+		s.degStop = make(chan struct{})
+		s.degDone = make(chan struct{})
+		go s.degrader()
 	}
 	return s, nil
 }
@@ -315,6 +430,15 @@ func New(cfg Config) (*Service, error) {
 // requests executed by the CPU worker pool. Submit blocks until the query
 // completes, the context is cancelled, or the service closes. It is safe
 // for concurrent use from any number of goroutines.
+//
+// With admission control configured, Submit first passes the admission
+// gate — queries arriving beyond the concurrency limit are shed
+// (ErrOverloaded), queued, or displace the oldest waiter, per the policy —
+// and latency is measured from arrival, so queue wait counts against the
+// SLA. A query whose deadline (the caller's, or Config.Deadline) has
+// already expired is shed before it consumes an admission slot or a
+// forward pass. Under degradation the candidate slate may be truncated
+// and/or the fallback model served; the Stats counters record both.
 func (s *Service) Submit(ctx context.Context, q Query) (Reply, error) {
 	if q.Candidates < 1 || q.Candidates > workload.MaxQuerySize {
 		return Reply{}, fmt.Errorf("live: candidates %d outside [1, %d]", q.Candidates, workload.MaxQuerySize)
@@ -331,45 +455,131 @@ func (s *Service) Submit(ctx context.Context, q Query) (Reply, error) {
 	s.mu.Unlock()
 	defer s.inFlight.Done()
 	s.submitted.Add(1)
+	if s.failed.Load() {
+		s.failedQ.Add(1)
+		return Reply{}, ErrReplicaDown
+	}
 
-	iq := &inflight{topN: q.TopN, done: make(chan struct{})}
+	if s.cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		defer cancel()
+	}
+	// An already-dead context is shed before the query consumes an
+	// admission slot or a forward pass.
+	if err := ctx.Err(); err != nil {
+		s.countAborted(err)
+		return Reply{}, err
+	}
+
+	start := time.Now() // latency includes admission-queue wait
+	if s.adm != nil {
+		evicted, err := s.adm.admit(ctx)
+		if evicted > 0 {
+			// Each victim's own Submit records the shed when its admit
+			// returns ErrOverloaded; here only the eviction is attributed.
+			s.evicted.Add(uint64(evicted))
+		}
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				s.shed.Add(1)
+			case errors.Is(err, ErrReplicaDown):
+				s.failedQ.Add(1)
+			case errors.Is(err, ErrShutdown):
+				// Queued but never started when Close began; neither
+				// completed nor shed.
+				s.abandoned.Add(1)
+			default:
+				// Deadline expiry or cancellation while queued: the query
+				// never reached a lane.
+				s.countAborted(err)
+			}
+			return Reply{}, err
+		}
+		defer s.adm.release()
+		if err := ctx.Err(); err != nil {
+			// The context died during the queue wait: shed before the
+			// forward pass.
+			s.countAborted(err)
+			return Reply{}, err
+		}
+	}
+
+	// Graceful degradation: truncate the slate and/or swap in the cheaper
+	// model per the current ladder level.
+	rung := s.degLadder[s.degLevel.Load()]
+	candidates := q.Candidates
+	if rung.truncate > 0 && candidates > rung.truncate {
+		candidates = rung.truncate
+		s.truncated.Add(1)
+	}
+	m := s.cfg.Model
+	degraded := false
+	if rung.fallback {
+		m = s.cfg.Degrade.Fallback
+		degraded = true
+		s.fallbackServed.Add(1)
+	}
+
+	iq := &inflight{topN: q.TopN, m: m, done: make(chan struct{})}
 	lane := Executor(s.cpu)
 	thr := int(s.thresh.Load())
-	offloaded := s.acc != nil && thr > 0 && q.Candidates >= thr
+	// Fallback-model queries stay on the CPU lane: degradation exists to
+	// shed compute, and the cheap variant no longer warrants the device.
+	offloaded := !degraded && s.acc != nil && thr > 0 && candidates >= thr
 	if offloaded {
 		lane = s.acc
 		s.gpuQueries.Add(1)
-		s.gpuItems.Add(uint64(q.Candidates))
+		s.gpuItems.Add(uint64(candidates))
 	} else {
 		s.cpuQueries.Add(1)
-		s.cpuItems.Add(uint64(q.Candidates))
+		s.cpuItems.Add(uint64(candidates))
 	}
 
-	start := time.Now()
-	if err := lane.Enqueue(ctx, iq, q.Candidates); err != nil {
+	if err := lane.Enqueue(ctx, iq, candidates); err != nil {
 		s.cancelled.Add(1)
 		return Reply{}, err
 	}
 	if err := s.awaitQuery(ctx, iq); err != nil {
-		s.cancelled.Add(1)
+		if errors.Is(err, ErrReplicaDown) {
+			s.failedQ.Add(1)
+		} else {
+			s.cancelled.Add(1)
+		}
 		return Reply{}, err
+	}
+	if d := time.Duration(s.delay.Load()); d > 0 {
+		time.Sleep(d) // injected latency spike (chaos)
 	}
 
 	latency := time.Since(start)
 	s.win.Add(latency.Seconds())
 	s.completed.Add(1)
 
-	reply := Reply{Latency: latency, BatchSize: iq.batch, Offloaded: offloaded}
+	reply := Reply{Latency: latency, BatchSize: iq.batch, Offloaded: offloaded, Degraded: degraded}
 	if q.TopN > 0 {
 		reply.Recs = mergeTopN(iq.recs, q.TopN)
 	}
 	return reply, nil
 }
 
-// awaitQuery blocks until the query completes or ctx is cancelled. When
-// both are ready the completion wins: the work was fully executed, so
-// reporting it cancelled would drop a real latency sample from the window
-// and skew the Completed/Cancelled accounting.
+// countAborted records a pre-execution context abort in the right counter:
+// a deadline expiry is a deadline shed (the overload-defense outcome), an
+// explicit cancellation stays a plain cancel.
+func (s *Service) countAborted(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.shedDeadline.Add(1)
+	} else {
+		s.cancelled.Add(1)
+	}
+}
+
+// awaitQuery blocks until the query completes, ctx is cancelled, or the
+// service is failed by fault injection. When completion and another event
+// are simultaneously ready the completion wins: the work was fully
+// executed, so reporting it cancelled would drop a real latency sample
+// from the window and skew the Completed/Cancelled accounting.
 func (s *Service) awaitQuery(ctx context.Context, iq *inflight) error {
 	select {
 	case <-iq.done:
@@ -382,6 +592,14 @@ func (s *Service) awaitQuery(ctx context.Context, iq *inflight) error {
 		}
 		iq.skip.Store(true)
 		return ctx.Err()
+	case <-s.failCh:
+		select {
+		case <-iq.done:
+			return nil // completed concurrently with the failure
+		default:
+		}
+		iq.skip.Store(true)
+		return ErrReplicaDown
 	}
 }
 
@@ -435,24 +653,81 @@ func (s *Service) SetGPUThreshold(thr int) error {
 // replicas to estimate fleet-wide percentiles over one coherent sample set.
 func (s *Service) LatencySnapshot() []float64 { return s.win.Snapshot() }
 
-// Scale returns the service-time scale factor (1 = nominal speed).
-func (s *Service) Scale() float64 { return s.cfg.Scale }
+// Scale returns the current service-time scale factor (1 = nominal speed).
+func (s *Service) Scale() float64 { return s.scale.Load() }
+
+// SetScale changes the service-time scale factor for subsequent work: the
+// dynamic counterpart of Config.Scale, used by chaos injection to model a
+// replica slowing down (co-tenancy, thermal throttling) mid-run. The CPU
+// lane can only be slowed (factors below 1 floor at real execution speed);
+// the accelerator lane scales its modeled time directly.
+func (s *Service) SetScale(f float64) error {
+	if f <= 0 {
+		return fmt.Errorf("live: scale factor %v must be positive", f)
+	}
+	s.scale.Store(f)
+	return nil
+}
+
+// SetDelay injects a fixed extra latency into every subsequently completed
+// query (0 clears it) — the chaos model of a transient latency spike
+// (GC pause, network hiccup) that inflates measured latency without
+// consuming executor capacity.
+func (s *Service) SetDelay(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("live: negative injected delay %v", d)
+	}
+	s.delay.Store(int64(d))
+	return nil
+}
+
+// Fail simulates a replica crash: every in-flight query aborts promptly
+// with ErrReplicaDown (its lane work is dropped via the skip flag), queued
+// admission waiters are flushed with the same error, and subsequent Submit
+// calls fail fast. Fail is idempotent and does not release the service's
+// resources — call Close (e.g. through the fleet's remove/restart path) to
+// shut the lanes down.
+func (s *Service) Fail() {
+	if !s.failed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.failCh)
+	if s.adm != nil {
+		s.adm.shutdown(ErrReplicaDown)
+	}
+}
+
+// Failed reports whether the service has been failed by fault injection —
+// the health signal fleet routing checks.
+func (s *Service) Failed() bool { return s.failed.Load() }
 
 // Stats returns an online snapshot.
 func (s *Service) Stats() Stats {
 	sum := s.win.Summary()
 	st := Stats{
-		Submitted:    s.submitted.Load(),
-		Completed:    s.completed.Load(),
-		Cancelled:    s.cancelled.Load(),
-		BatchSize:    s.BatchSize(),
-		GPUThreshold: s.GPUThreshold(),
-		GPUQueries:   s.gpuQueries.Load(),
-		P50:          time.Duration(sum.P50 * float64(time.Second)),
-		P95:          time.Duration(sum.P95 * float64(time.Second)),
-		WindowLen:    sum.Count,
-		SLA:          s.cfg.SLA,
-		Retunes:      s.retunes.Load(),
+		Submitted:      s.submitted.Load(),
+		Completed:      s.completed.Load(),
+		Cancelled:      s.cancelled.Load(),
+		BatchSize:      s.BatchSize(),
+		GPUThreshold:   s.GPUThreshold(),
+		GPUQueries:     s.gpuQueries.Load(),
+		P50:            time.Duration(sum.P50 * float64(time.Second)),
+		P95:            time.Duration(sum.P95 * float64(time.Second)),
+		WindowLen:      sum.Count,
+		SLA:            s.cfg.SLA,
+		Retunes:        s.retunes.Load(),
+		Shed:           s.shed.Load(),
+		Evicted:        s.evicted.Load(),
+		ShedDeadline:   s.shedDeadline.Load(),
+		Abandoned:      s.abandoned.Load(),
+		DegradeLevel:   int(s.degLevel.Load()),
+		DegradeSteps:   s.degradeSteps.Load(),
+		Truncated:      s.truncated.Load(),
+		FallbackServed: s.fallbackServed.Load(),
+		Failed:         s.failedQ.Load(),
+	}
+	if s.adm != nil {
+		st.Queued = s.adm.queued()
 	}
 	if total := st.GPUQueries + s.cpuQueries.Load(); total > 0 {
 		st.GPUQueryShare = float64(st.GPUQueries) / float64(total)
@@ -466,7 +741,10 @@ func (s *Service) Stats() Stats {
 }
 
 // Close stops accepting queries, waits for every in-flight query to
-// complete, and shuts down the executor lanes and controller. Close is
+// complete, and shuts down the executor lanes and controllers. Queries
+// parked in the admission queue that never started executing are returned
+// ErrShutdown immediately rather than serialized behind the backlog; Close
+// waits only for queries that actually reached a lane. Close is
 // idempotent; concurrent Submit calls either finish normally or observe
 // ErrClosed.
 func (s *Service) Close() error {
@@ -478,6 +756,12 @@ func (s *Service) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 
+	if s.adm != nil {
+		// Flush queued-but-unstarted queries with ErrShutdown so a
+		// saturated service closes in bounded time instead of serving its
+		// whole backlog first.
+		s.adm.shutdown(ErrShutdown)
+	}
 	s.inFlight.Wait() // all Submits returned: no more lane admissions
 	s.cpu.Close()
 	if s.acc != nil {
@@ -486,6 +770,10 @@ func (s *Service) Close() error {
 	if s.ctrlStop != nil {
 		close(s.ctrlStop)
 		<-s.ctrlDone
+	}
+	if s.degStop != nil {
+		close(s.degStop)
+		<-s.degDone
 	}
 	return nil
 }

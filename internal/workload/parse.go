@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Spec parsing: the textual workload format shared by the public
@@ -71,18 +72,105 @@ func parsePair(s string) (float64, float64, error) {
 	return x, y, nil
 }
 
-// ParseArrivals parses an arrival-process spec at the given mean rate.
+// ParseArrivals parses an arrival-process spec at the given base rate.
+// Beyond the stationary processes (poisson, uniform) the grammar covers the
+// time-varying scenarios the elastic serving tier has to survive, all
+// anchored to ratePerSec as the baseline:
+//
+//	poisson                          memoryless arrivals at the base rate
+//	uniform                          evenly spaced arrivals
+//	diurnal:<amp>,<period>           sinusoidal daily cycle: base×(1±amp)
+//	                                 over each period (amp in [0,1))
+//	flash:<mult>,<start>,<ramp>,<hold>,<decay>
+//	                                 flash crowd: ramps to mult×base at
+//	                                 start over ramp, holds, decays back
+//	mmpp:<mult>,<meanLow>,<meanHigh> two-state MMPP: bursts at mult×base
+//	                                 with exponential sojourns of the given
+//	                                 means
+//
+// Durations use Go syntax ("30s", "1m"). The time-varying processes are
+// stateful (they track the arrival clock), so every call returns a fresh
+// instance.
 func ParseArrivals(spec string, ratePerSec float64) (ArrivalProcess, error) {
 	if ratePerSec <= 0 {
 		return nil, fmt.Errorf("workload: arrival rate must be positive, got %v", ratePerSec)
 	}
-	switch spec {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	switch name {
 	case "poisson":
+		if hasArg {
+			return nil, fmt.Errorf("workload: poisson takes no parameters (got %q)", spec)
+		}
 		return Poisson{RatePerSec: ratePerSec}, nil
 	case "uniform":
+		if hasArg {
+			return nil, fmt.Errorf("workload: uniform takes no parameters (got %q)", spec)
+		}
 		return Uniform{RatePerSec: ratePerSec}, nil
+	case "diurnal":
+		if !hasArg {
+			return nil, fmt.Errorf("workload: diurnal needs parameters (want diurnal:<amplitude>,<period>)")
+		}
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("workload: bad diurnal spec %q (want diurnal:<amplitude>,<period>)", spec)
+		}
+		amp, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil || amp < 0 || amp >= 1 {
+			return nil, fmt.Errorf("workload: diurnal amplitude in %q must be in [0, 1)", spec)
+		}
+		period, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+		if err != nil || period <= 0 {
+			return nil, fmt.Errorf("workload: diurnal period in %q must be a positive duration", spec)
+		}
+		return &DiurnalArrivals{BaseQPS: ratePerSec, Amplitude: amp, Period: period}, nil
+	case "flash":
+		if !hasArg {
+			return nil, fmt.Errorf("workload: flash needs parameters (want flash:<mult>,<start>,<ramp>,<hold>,<decay>)")
+		}
+		parts := strings.Split(arg, ",")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("workload: bad flash spec %q (want flash:<mult>,<start>,<ramp>,<hold>,<decay>)", spec)
+		}
+		mult, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil || mult < 1 {
+			return nil, fmt.Errorf("workload: flash multiplier in %q must be >= 1", spec)
+		}
+		var durs [4]time.Duration
+		for i, p := range parts[1:] {
+			d, err := time.ParseDuration(strings.TrimSpace(p))
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("workload: flash duration %q in %q must be a non-negative duration", p, spec)
+			}
+			durs[i] = d
+		}
+		if mult > 1 && durs[1]+durs[2]+durs[3] == 0 {
+			return nil, fmt.Errorf("workload: flash spec %q has no spike extent (ramp, hold, and decay all zero)", spec)
+		}
+		return &Flash{BaseQPS: ratePerSec, Mult: mult, Start: durs[0], Ramp: durs[1], Hold: durs[2], Decay: durs[3]}, nil
+	case "mmpp":
+		if !hasArg {
+			return nil, fmt.Errorf("workload: mmpp needs parameters (want mmpp:<mult>,<meanLow>,<meanHigh>)")
+		}
+		parts := strings.Split(arg, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("workload: bad mmpp spec %q (want mmpp:<mult>,<meanLow>,<meanHigh>)", spec)
+		}
+		mult, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil || mult < 1 {
+			return nil, fmt.Errorf("workload: mmpp burst multiplier in %q must be >= 1", spec)
+		}
+		meanLow, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+		if err != nil || meanLow <= 0 {
+			return nil, fmt.Errorf("workload: mmpp low-state sojourn in %q must be a positive duration", spec)
+		}
+		meanHigh, err := time.ParseDuration(strings.TrimSpace(parts[2]))
+		if err != nil || meanHigh <= 0 {
+			return nil, fmt.Errorf("workload: mmpp high-state sojourn in %q must be a positive duration", spec)
+		}
+		return &MMPP{LowQPS: ratePerSec, HighQPS: ratePerSec * mult, MeanLow: meanLow, MeanHigh: meanHigh}, nil
 	default:
-		return nil, fmt.Errorf("workload: unknown arrival process %q (have poisson, uniform)", spec)
+		return nil, fmt.Errorf("workload: unknown arrival process %q (have poisson, uniform, diurnal:<amp>,<period>, flash:<mult>,<start>,<ramp>,<hold>,<decay>, mmpp:<mult>,<meanLow>,<meanHigh>)", spec)
 	}
 }
 

@@ -4,16 +4,28 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"github.com/deeprecinfra/deeprecsys/internal/cluster"
 	"github.com/deeprecinfra/deeprecsys/internal/fleet"
 	"github.com/deeprecinfra/deeprecsys/internal/live"
+	"github.com/deeprecinfra/deeprecsys/internal/model"
 )
 
 // ErrServiceClosed is returned by Service.Submit after Close has begun.
 var ErrServiceClosed = live.ErrClosed
+
+// ErrOverloaded is returned by Service.Submit when admission control sheds
+// the query — a retryable load-shedding signal, not a service failure.
+var ErrOverloaded = live.ErrOverloaded
+
+// ErrReplicaDown is returned by Service.Submit when an injected replica
+// crash aborts the query (and, with ServeOptions.Retry, the retry also
+// failed or was not possible).
+var ErrReplicaDown = live.ErrReplicaDown
 
 // ServeOptions configures a live Service. The zero value works: worker
 // count defaults to GOMAXPROCS, the batch size to 256, and the SLA to the
@@ -69,6 +81,42 @@ type ServeOptions struct {
 	// first n replicas of a fleet (0 = every replica, when the system is
 	// built WithGPU) — a heterogeneous fleet for size-aware routing.
 	GPUReplicas int
+	// Admission bounds the work each replica accepts, as a spec string:
+	// "none" (the default — backpressure only from the lane queues),
+	// "reject" (shed new queries at saturation), "queue:<depth>" (bounded
+	// FIFO, shed when full), or "shed-oldest[:<depth>]" (bounded FIFO,
+	// displace the oldest waiter). Shed queries fail with ErrOverloaded.
+	Admission string
+	// Deadline is the per-query latency budget applied when the caller's
+	// context carries no deadline of its own (0 = none). Queries whose
+	// deadline has already expired are shed before consuming a forward
+	// pass, and deadline expiry during the admission-queue wait sheds the
+	// query before execution.
+	Deadline time.Duration
+	// Degrade configures each replica's graceful-degradation ladder, as a
+	// comma-separated spec: "truncate=<n>" adds a rung serving queries over
+	// truncated candidate slates of at most n items, "fallback=<model>" a
+	// deeper rung serving a cheaper zoo variant on the CPU lane. With an
+	// SLA set, an SLA-aware controller walks the ladder under sustained
+	// overload and back under restored headroom. "" or "none" disables.
+	Degrade string
+	// AutoScale runs the fleet autoscaler: a closed-loop controller growing
+	// the fleet toward MaxReplicas while the fleet-wide online p95 breaches
+	// the SLA or replicas are shedding, and shrinking toward MinReplicas
+	// under sustained headroom. Requires Replicas >= 2.
+	AutoScale bool
+	// MinReplicas / MaxReplicas bound the autoscaler (defaults: 1 and
+	// Replicas, respectively).
+	MinReplicas, MaxReplicas int
+	// Chaos enables fault injection on the fleet, as a spec string parsed
+	// by the fleet tier: comma-separated key=value pairs among every=<dur>,
+	// crash=<p>, restart=<dur>, slow=<p>, factor=<f>, spike=<p>,
+	// delay=<dur>. "" or "none" disables. Requires Replicas >= 2.
+	Chaos string
+	// Retry resubmits a query exactly once when a replica crash aborts it
+	// (health-checked routing steers the retry to a live replica). Requires
+	// Replicas >= 2.
+	Retry bool
 }
 
 // ErrNotFleet is returned by the replica-membership methods (AddReplica,
@@ -125,6 +173,14 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 	if sla == 0 {
 		sla = s.cfg.SLAMedium
 	}
+	admission, err := live.ParseAdmission(opts.Admission)
+	if err != nil {
+		return nil, err
+	}
+	degrade, err := s.parseDegrade(opts.Degrade)
+	if err != nil {
+		return nil, err
+	}
 	base := live.Config{
 		Model:        m,
 		Workers:      opts.Workers,
@@ -137,6 +193,9 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 		WindowSize:   opts.WindowSize,
 		QueueDepth:   opts.QueueDepth,
 		IntraOp:      opts.IntraOp,
+		Admission:    admission,
+		Deadline:     opts.Deadline,
+		Degrade:      degrade,
 		Seed:         s.seed,
 	}
 	if opts.Replicas < 0 {
@@ -160,20 +219,81 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 	if opts.GPUReplicas > 0 && gpu == nil {
 		return nil, errors.New("deeprecsys: GPUReplicas set but no accelerator provisioned (use WithGPU)")
 	}
+	// The chaos spec is validated at any replica count (like the routing
+	// policy) so a typo fails fast; the fleet-only features themselves
+	// require the fleet tier.
+	chaos, err := fleet.ParseChaos(opts.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MinReplicas < 0 || opts.MaxReplicas < 0 {
+		return nil, fmt.Errorf("deeprecsys: negative autoscale bounds [%d, %d]", opts.MinReplicas, opts.MaxReplicas)
+	}
 	if opts.Replicas <= 1 {
+		if opts.AutoScale {
+			return nil, errors.New("deeprecsys: AutoScale requires a fleet (ServeOptions.Replicas >= 2)")
+		}
+		if opts.Chaos != "" && opts.Chaos != "none" {
+			return nil, errors.New("deeprecsys: Chaos requires a fleet (ServeOptions.Replicas >= 2)")
+		}
+		if opts.Retry {
+			return nil, errors.New("deeprecsys: Retry requires a fleet (ServeOptions.Replicas >= 2)")
+		}
 		inner, err := live.New(base)
 		if err != nil {
 			return nil, err
 		}
 		return &Service{inner: inner, model: s.cfg.Name}, nil
 	}
-	return s.serveFleet(base, opts)
+	return s.serveFleet(base, opts, chaos)
+}
+
+// parseDegrade parses a ServeOptions.Degrade spec: "" or "none" disables;
+// otherwise a comma-separated list of "truncate=<n>" (slate cap) and
+// "fallback=<model>" (a cheaper zoo variant, built against the system's
+// seed so degraded replies stay deterministic).
+func (s *System) parseDegrade(spec string) (live.DegradeConfig, error) {
+	if spec == "" || spec == "none" {
+		return live.DegradeConfig{}, nil
+	}
+	var cfg live.DegradeConfig
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return live.DegradeConfig{}, fmt.Errorf("deeprecsys: bad degrade field %q in %q (want truncate=<n> or fallback=<model>)", field, spec)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "truncate":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return live.DegradeConfig{}, fmt.Errorf("deeprecsys: degrade truncation %q must be a positive integer", val)
+			}
+			cfg.Truncate = n
+		case "fallback":
+			mc, err := model.ByName(val)
+			if err != nil {
+				return live.DegradeConfig{}, fmt.Errorf("deeprecsys: degrade fallback: %w", err)
+			}
+			fb, err := model.New(mc, s.seed)
+			if err != nil {
+				return live.DegradeConfig{}, fmt.Errorf("deeprecsys: degrade fallback: %w", err)
+			}
+			cfg.Fallback = fb
+		default:
+			return live.DegradeConfig{}, fmt.Errorf("deeprecsys: unknown degrade key %q in %q (have truncate, fallback)", key, spec)
+		}
+	}
+	return cfg, nil
 }
 
 // serveFleet starts the fleet tier: opts.Replicas copies of the base
 // config, each with its own seed stream, a speed factor from the shared
 // node-jitter model, and — for replicas past GPUReplicas — no accelerator.
-func (s *System) serveFleet(base live.Config, opts ServeOptions) (*Service, error) {
+// The retry, autoscale, and chaos layers start here, on top of the serving
+// fleet.
+func (s *System) serveFleet(base live.Config, opts ServeOptions, chaos fleet.ChaosConfig) (*Service, error) {
 	policy, err := fleet.ParsePolicy(opts.RoutingPolicy)
 	if err != nil {
 		return nil, err
@@ -193,6 +313,38 @@ func (s *System) serveFleet(base live.Config, opts ServeOptions) (*Service, erro
 	}
 	svc := &Service{fl: fl, model: s.cfg.Name, base: base}
 	svc.nextSeed.Store(s.seed + replicaSeedStride*int64(opts.Replicas))
+	fl.SetRetry(opts.Retry)
+	if opts.AutoScale {
+		min, max := opts.MinReplicas, opts.MaxReplicas
+		if min == 0 {
+			min = 1
+		}
+		if max == 0 {
+			max = opts.Replicas
+		}
+		err := fl.StartAutoscale(fleet.AutoscaleConfig{
+			Min:      min,
+			Max:      max,
+			Interval: opts.TuneInterval, // 0 = the autoscaler's own default
+			NewConfig: func() live.Config {
+				// Grown replicas continue the fleet's seed stream at nominal
+				// speed, exactly like AddReplica.
+				seed := svc.nextSeed.Add(replicaSeedStride) - replicaSeedStride
+				return replicaConfig(svc.base, seed, 1, svc.base.GPU != nil)
+			},
+		})
+		if err != nil {
+			fl.Close()
+			return nil, err
+		}
+	}
+	if chaos.Crash > 0 || chaos.Slow > 0 || chaos.Spike > 0 {
+		chaos.Seed = s.seed
+		if err := fl.StartChaos(chaos); err != nil {
+			fl.Close()
+			return nil, err
+		}
+	}
 	return svc, nil
 }
 
@@ -261,6 +413,9 @@ type Reply struct {
 	BatchSize int
 	// Offloaded reports whether the accelerator lane served the query.
 	Offloaded bool
+	// Degraded reports whether the fallback model served the query (the
+	// deepest rung of the degrade ladder).
+	Degraded bool
 	// Replica is the ID of the replica that served the query (0 on a
 	// single-replica Service).
 	Replica int
@@ -286,7 +441,7 @@ func (s *Service) Submit(ctx context.Context, candidates, topN int) (Reply, erro
 	if err != nil {
 		return Reply{}, err
 	}
-	reply := Reply{Latency: r.Latency, BatchSize: r.BatchSize, Offloaded: r.Offloaded, Replica: replica}
+	reply := Reply{Latency: r.Latency, BatchSize: r.BatchSize, Offloaded: r.Offloaded, Degraded: r.Degraded, Replica: replica}
 	if topN > 0 {
 		reply.Recs = make([]Recommendation, len(r.Recs))
 		for i, rec := range r.Recs {
@@ -321,6 +476,32 @@ type ServiceStats struct {
 	// Retunes counts knob changes (batch size or offload threshold) made
 	// by the AutoTune controller (summed over replicas on a fleet).
 	Retunes uint64
+	// Shed counts queries refused with ErrOverloaded by admission control
+	// (Evicted is the shed-oldest subset), ShedDeadline queries shed before
+	// execution on an expired deadline, and Abandoned queued-but-unstarted
+	// queries flushed at Close. All are lifetime counts, summed over
+	// replicas (including removed ones) on a fleet.
+	Shed, Evicted, ShedDeadline, Abandoned uint64
+	// Failed counts queries aborted by injected replica crashes.
+	Failed uint64
+	// Truncated counts queries served over a truncated candidate slate,
+	// FallbackServed queries served by the cheaper fallback model, and
+	// DegradeSteps the degrade controllers' ladder moves. DegradeLevel is
+	// the current rung on a single-replica service (fleets report it
+	// per-replica).
+	Truncated, FallbackServed, DegradeSteps uint64
+	DegradeLevel                            int
+	// Retried counts crash-triggered second submissions (fleet retry);
+	// each retried query still counts once in Submitted at the fleet's
+	// front door.
+	Retried uint64
+	// ScaleUps / ScaleDowns count autoscaler membership moves; Crashes /
+	// Restarts count injected replica failures and their recoveries.
+	ScaleUps, ScaleDowns uint64
+	Crashes, Restarts    uint64
+	// Healthy is the number of routable replicas not currently failed
+	// (equals Replicas when chaos is off).
+	Healthy int
 	// Replicas is the number of routable replicas (1 on a single-replica
 	// Service).
 	Replicas int
@@ -347,11 +528,18 @@ type ReplicaStats struct {
 	HasGPU bool
 	// Draining reports whether the replica is excluded from routing.
 	Draining bool
+	// Failed reports whether the replica has been crashed by fault
+	// injection (ejected from routing until its restart).
+	Failed bool
 	// Outstanding is the number of routed-but-unreturned queries — the
 	// signal the least-loaded policy balances on.
 	Outstanding int
 	// Submitted / Completed / Cancelled are the replica's lifetime counts.
 	Submitted, Completed, Cancelled uint64
+	// Shed / ShedDeadline are the replica's admission-control sheds;
+	// DegradeLevel is its current degrade rung.
+	Shed, ShedDeadline uint64
+	DegradeLevel       int
 	// BatchSize and GPUThreshold are the replica's current knob values
 	// (per-replica AutoTune may diverge them across the fleet).
 	BatchSize    int
@@ -381,21 +569,31 @@ func (s *Service) Stats() ServiceStats {
 	}
 	st := s.inner.Stats()
 	return ServiceStats{
-		Model:         s.model,
-		Submitted:     st.Submitted,
-		Completed:     st.Completed,
-		Cancelled:     st.Cancelled,
-		BatchSize:     st.BatchSize,
-		GPUThreshold:  st.GPUThreshold,
-		GPUQueries:    st.GPUQueries,
-		GPUQueryShare: st.GPUQueryShare,
-		GPUWorkShare:  st.GPUWorkShare,
-		P50:           st.P50,
-		P95:           st.P95,
-		WindowLen:     st.WindowLen,
-		SLA:           st.SLA,
-		Retunes:       st.Retunes,
-		Replicas:      1,
+		Model:          s.model,
+		Submitted:      st.Submitted,
+		Completed:      st.Completed,
+		Cancelled:      st.Cancelled,
+		BatchSize:      st.BatchSize,
+		GPUThreshold:   st.GPUThreshold,
+		GPUQueries:     st.GPUQueries,
+		GPUQueryShare:  st.GPUQueryShare,
+		GPUWorkShare:   st.GPUWorkShare,
+		P50:            st.P50,
+		P95:            st.P95,
+		WindowLen:      st.WindowLen,
+		SLA:            st.SLA,
+		Retunes:        st.Retunes,
+		Shed:           st.Shed,
+		Evicted:        st.Evicted,
+		ShedDeadline:   st.ShedDeadline,
+		Abandoned:      st.Abandoned,
+		Failed:         st.Failed,
+		Truncated:      st.Truncated,
+		FallbackServed: st.FallbackServed,
+		DegradeSteps:   st.DegradeSteps,
+		DegradeLevel:   st.DegradeLevel,
+		Healthy:        1,
+		Replicas:       1,
 	}
 }
 
@@ -403,23 +601,37 @@ func (s *Service) Stats() ServiceStats {
 func (s *Service) fleetStats() ServiceStats {
 	fst := s.fl.Stats()
 	st := ServiceStats{
-		Model:         s.model,
-		Submitted:     fst.Submitted,
-		Completed:     fst.Completed,
-		Cancelled:     fst.Cancelled,
-		BatchSize:     s.fl.BatchSize(),
-		GPUThreshold:  s.fl.GPUThreshold(),
-		GPUQueries:    fst.GPUQueries,
-		P50:           fst.P50,
-		P95:           fst.P95,
-		WindowLen:     fst.WindowLen,
-		GPUQueryShare: fst.GPUQueryShare,
-		GPUWorkShare:  fst.GPUWorkShare,
-		SLA:           fst.SLA,
-		Retunes:       fst.Retunes,
-		Replicas:      fst.Size,
-		RoutingPolicy: fst.Policy,
-		PerReplica:    make([]ReplicaStats, len(fst.Replicas)),
+		Model:          s.model,
+		Submitted:      fst.FrontSubmitted,
+		Completed:      fst.Completed,
+		Cancelled:      fst.Cancelled,
+		BatchSize:      s.fl.BatchSize(),
+		GPUThreshold:   s.fl.GPUThreshold(),
+		GPUQueries:     fst.GPUQueries,
+		P50:            fst.P50,
+		P95:            fst.P95,
+		WindowLen:      fst.WindowLen,
+		GPUQueryShare:  fst.GPUQueryShare,
+		GPUWorkShare:   fst.GPUWorkShare,
+		SLA:            fst.SLA,
+		Retunes:        fst.Retunes,
+		Shed:           fst.Shed,
+		Evicted:        fst.Evicted,
+		ShedDeadline:   fst.ShedDeadline,
+		Abandoned:      fst.Abandoned,
+		Failed:         fst.Failed,
+		Truncated:      fst.Truncated,
+		FallbackServed: fst.FallbackServed,
+		DegradeSteps:   fst.DegradeSteps,
+		Retried:        fst.Retried,
+		ScaleUps:       fst.ScaleUps,
+		ScaleDowns:     fst.ScaleDowns,
+		Crashes:        fst.Crashes,
+		Restarts:       fst.Restarts,
+		Healthy:        fst.Healthy,
+		Replicas:       fst.Size,
+		RoutingPolicy:  fst.Policy,
+		PerReplica:     make([]ReplicaStats, len(fst.Replicas)),
 	}
 	for i, r := range fst.Replicas {
 		st.PerReplica[i] = ReplicaStats{
@@ -427,10 +639,14 @@ func (s *Service) fleetStats() ServiceStats {
 			Speed:        r.Speed,
 			HasGPU:       r.HasGPU,
 			Draining:     r.Draining,
+			Failed:       r.Failed,
 			Outstanding:  r.Outstanding,
 			Submitted:    r.Stats.Submitted,
 			Completed:    r.Stats.Completed,
 			Cancelled:    r.Stats.Cancelled,
+			Shed:         r.Stats.Shed,
+			ShedDeadline: r.Stats.ShedDeadline,
+			DegradeLevel: r.Stats.DegradeLevel,
 			BatchSize:    r.Stats.BatchSize,
 			GPUThreshold: r.Stats.GPUThreshold,
 			GPUQueries:   r.Stats.GPUQueries,
