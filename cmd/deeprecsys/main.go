@@ -11,6 +11,9 @@
 //	deeprecsys serve -model NCF -rate 300 -n 2000 -autotune
 //	loadgen -rate 200 -n 500 | deeprecsys serve -model NCF -trace - -topn 5
 //
+//	deeprecsys tables gen -model DLRM-RMC1 -dir /data/emb -rows 1000000
+//	deeprecsys serve -model DLRM-RMC1 -rows 1000000 -store mmap:/data/emb,cache=lru:50000 -access zipf:1.2
+//
 // By default experiments run at quick fidelity (the runs recorded in
 // EXPERIMENTS.md); -full tightens the percentile estimates (slower: the
 // headline fig11 sweep tunes three schedulers for eight models at three
@@ -31,6 +34,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		serveMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "tables" {
+		tablesMain(os.Args[2:])
 		return
 	}
 	list := flag.Bool("list", false, "list available artifacts and exit")

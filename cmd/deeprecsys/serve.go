@@ -44,6 +44,11 @@ func serveMain(args []string) {
 	autoscale := fs.String("autoscale", "", "fleet autoscaling bounds <min>:<max>; the fleet grows on SLA breach and shrinks on headroom (needs -replicas >= 2)")
 	chaos := fs.String("chaos", "none", "fault injection: key=value list among every=<dur>, crash=<p>, restart=<dur>, slow=<p>, factor=<f>, spike=<p>, delay=<dur> (needs -replicas >= 2)")
 	retry := fs.Bool("retry", false, "resubmit a query once when a replica crash aborts it (needs -replicas >= 2)")
+	rows := fs.Int("rows", 0, "embedding-table rows per table (0 = the zoo default, 10^4); at-scale geometries pair with -store")
+	lookups := fs.Int("lookups", 0, "embedding lookups per table per item (0 = the model's default)")
+	store := fs.String("store", "", "embedding-store spec: dense, synth, or mmap:<dir> (files from `deeprecsys tables gen`), each optionally +\",cache=lru:<cap>\" or \",cache=lfu:<cap>\" (\"\" = classic in-memory tables)")
+	access := fs.String("access", "", "sparse-index popularity: uniform or zipf[:<s>[,<v>]] hot-row skew (\"\" = uniform)")
+	shardTables := fs.Bool("shard-tables", false, "shard the embedding-row space across the fleet's replicas (needs -store and -replicas >= 2)")
 	topn := fs.Int("topn", 0, "ranked items to return per query (0 = latency only)")
 	tracePath := fs.String("trace", "", "replay a loadgen CSV trace ('-' = stdin)")
 	wl := fs.String("workload", "production", "workload spec to generate the drive stream (ignored with -trace)")
@@ -96,11 +101,18 @@ func serveMain(args []string) {
 	if *gpu {
 		sysOpts = append(sysOpts, deeprecsys.WithGPU())
 	}
+	if *rows != 0 || *lookups != 0 {
+		sysOpts = append(sysOpts, deeprecsys.WithTableScale(*rows, *lookups))
+	}
+	if *store != "" {
+		sysOpts = append(sysOpts, deeprecsys.WithEmbeddingStore(*store))
+	}
 	sys, err := deeprecsys.NewSystem(*modelName, "skylake", sysOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	defer sys.Close()
 	svc, err := sys.Serve(deeprecsys.ServeOptions{
 		Workers:       *workers,
 		BatchSize:     *batch,
@@ -120,6 +132,8 @@ func serveMain(args []string) {
 		MaxReplicas:   maxReplicas,
 		Chaos:         *chaos,
 		Retry:         *retry,
+		Access:        *access,
+		ShardTables:   *shardTables,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -234,6 +248,19 @@ drive:
 	if final.DegradeSteps > 0 || final.Truncated > 0 || final.FallbackServed > 0 {
 		fmt.Printf("degrade: %d ladder moves, %d queries truncated, %d served by fallback (level %d at end)\n",
 			final.DegradeSteps, final.Truncated, final.FallbackServed, final.DegradeLevel)
+	}
+	if final.EmbStore {
+		accessName := *access
+		if accessName == "" {
+			accessName = "uniform"
+		}
+		layout := ""
+		if *shardTables {
+			layout = fmt.Sprintf(", sharded over %d replicas", final.Replicas)
+		}
+		fmt.Printf("embedding store %q: %d-row tables%s, %s access: %.1f%% cache hit rate, %d evictions, %.1f MB read from backing store\n",
+			*store, final.TableRows, layout, accessName,
+			final.CacheHitRate*100, final.CacheEvictions, float64(final.CacheBytesRead)/(1<<20))
 	}
 	if doScale {
 		fmt.Printf("autoscale: %d scale-ups, %d scale-downs, ended at %d replicas\n",

@@ -62,8 +62,10 @@ import (
 	"sync"
 	"time"
 
+	"github.com/deeprecinfra/deeprecsys/internal/embstore"
 	"github.com/deeprecinfra/deeprecsys/internal/experiments"
 	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/nn"
 	"github.com/deeprecinfra/deeprecsys/internal/platform"
 	"github.com/deeprecinfra/deeprecsys/internal/sched"
 	"github.com/deeprecinfra/deeprecsys/internal/serving"
@@ -114,6 +116,39 @@ func WithSeed(seed int64) Option {
 	return func(s *System) { s.seed = seed }
 }
 
+// WithTableScale overrides the zoo model's embedding-table geometry: every
+// table gets `rows` rows (0 = keep the zoo default of 10^4) and every query
+// item `lookups` lookups per table (0 = keep the model's default). At-scale
+// geometries (10^6–10^8 rows) pair with WithEmbeddingStore — materializing
+// them as classic in-memory tables is possible but costs rows × dim × 4
+// bytes per table up front. NewSystem rejects negative values and table
+// overrides on models without embedding tables.
+func WithTableScale(rows, lookups int) Option {
+	return func(s *System) {
+		s.tableRows, s.tableLookups = rows, lookups
+		s.tableScaleSet = true
+	}
+}
+
+// WithEmbeddingStore backs the model's embedding tables with a pluggable
+// store instead of classic in-memory dense tensors. The spec grammar:
+//
+//	dense                      per-row-seeded in-memory tables
+//	synth                      rows computed on demand (zero storage)
+//	mmap:<dir>                 memory-mapped table files from <dir>
+//	...,cache=lru:<cap>        plus an LRU hot-row cache
+//	...,cache=lfu:<cap>        plus an LRU cache with frequency admission
+//
+// where <cap> is a row count ("50000") or a byte budget ("64MB"). Table
+// files for the mmap backend are materialized with `deeprecsys tables gen`.
+// All backends are row-content-identical for the same seed, so a system
+// answers the same regardless of where its tables live. The spec is
+// validated in NewSystem; mmap file headers are validated against the
+// system's geometry when the model is built.
+func WithEmbeddingStore(spec string) Option {
+	return func(s *System) { s.storeSpec = spec }
+}
+
 // WithSearchFidelity sets the number of queries per capacity-search
 // evaluation and the rate tolerance of the search. Larger query counts
 // tighten percentile estimates at proportional cost. NewSystem rejects
@@ -135,6 +170,11 @@ type System struct {
 
 	wl         Workload
 	engineKind EngineKind
+
+	tableRows, tableLookups int
+	tableScaleSet           bool
+	storeSpec               string
+	store                   *embstore.Spec // parsed storeSpec (nil = classic in-memory tables)
 
 	seed    int64
 	queries int
@@ -177,6 +217,21 @@ func NewSystem(modelName, platformName string, opts ...Option) (*System, error) 
 	if s.relTol <= 0 {
 		return nil, fmt.Errorf("deeprecsys: search tolerance must be positive, got %v", s.relTol)
 	}
+	if s.tableScaleSet {
+		scaled, err := s.cfg.WithTableScale(s.tableRows, s.tableLookups)
+		if err != nil {
+			return nil, err
+		}
+		s.cfg = scaled
+	}
+	if s.storeSpec != "" {
+		sp, err := embstore.ParseSpec(s.storeSpec)
+		if err != nil {
+			return nil, err
+		}
+		s.store = &sp
+		s.cfg.Tables = storeOpener(sp, embstore.Shard{})
+	}
 	switch s.engineKind {
 	case Analytical:
 	case RealExecution:
@@ -194,6 +249,14 @@ func NewSystem(modelName, platformName string, opts ...Option) (*System, error) 
 	return s, nil
 }
 
+// storeOpener adapts an embedding-store spec to the model's table-opening
+// hook, binding one shard of the row space (the zero Shard = all rows).
+func storeOpener(sp embstore.Spec, shard embstore.Shard) model.TableOpener {
+	return func(table, rows, dim int, _ *rand.Rand, seed int64) (nn.RowStore, error) {
+		return sp.Open(seed, table, rows, dim, shard)
+	}
+}
+
 // modelInstance returns the system's cached executable model, building it
 // on first use.
 func (s *System) modelInstance() (*model.Model, error) {
@@ -201,6 +264,19 @@ func (s *System) modelInstance() (*model.Model, error) {
 		s.model, s.modelErr = model.New(s.cfg, s.seed)
 	})
 	return s.model, s.modelErr
+}
+
+// Close releases the system's cached model resources — file mappings held
+// by an mmap embedding store, in particular. It is a no-op for systems
+// whose model was never built or uses classic in-memory tables. Close the
+// system only after every Service started from it has been closed: a
+// store-backed model must not serve after its mappings are released.
+func (s *System) Close() error {
+	s.modelOnce.Do(func() {}) // settle: no concurrent first build
+	if s.model == nil {
+		return nil
+	}
+	return s.model.Close()
 }
 
 // Model returns the system's model name.

@@ -1,0 +1,240 @@
+package embstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CachePolicy selects how the hot-row cache decides what stays resident.
+type CachePolicy int
+
+const (
+	// CacheNone disables caching (reads pass straight to the backend).
+	CacheNone CachePolicy = iota
+	// CacheLRU admits every miss and evicts the least-recently-used row.
+	CacheLRU
+	// CacheLFUAdmit is frequency-based admission: a missed row is only
+	// admitted on its second touch (a doorkeeper counts first touches), so
+	// one-hit-wonder rows from the long Zipf tail pass through without
+	// displacing the hot set. Resident rows still age out by LRU.
+	CacheLFUAdmit
+)
+
+// String implements fmt.Stringer.
+func (p CachePolicy) String() string {
+	switch p {
+	case CacheNone:
+		return "none"
+	case CacheLRU:
+		return "lru"
+	case CacheLFUAdmit:
+		return "lfu"
+	default:
+		return fmt.Sprintf("CachePolicy(%d)", int(p))
+	}
+}
+
+// CacheConfig sizes the hot-row cache. Exactly one of Rows or Bytes must be
+// positive when Policy is not CacheNone; Bytes converts to rows at attach
+// time using the table's vector width.
+type CacheConfig struct {
+	Policy CachePolicy
+	Rows   int   // capacity in rows
+	Bytes  int64 // capacity in bytes of row payload (rows*dim*4)
+}
+
+// Validate checks the configuration.
+func (c CacheConfig) Validate() error {
+	if c.Policy == CacheNone {
+		if c.Rows != 0 || c.Bytes != 0 {
+			return fmt.Errorf("embstore: cache capacity set without a cache policy")
+		}
+		return nil
+	}
+	if (c.Rows > 0) == (c.Bytes > 0) {
+		return fmt.Errorf("embstore: cache needs exactly one of rows or bytes capacity, got rows=%d bytes=%d", c.Rows, c.Bytes)
+	}
+	return nil
+}
+
+// capacityRows resolves the configured capacity to rows for width dim.
+func (c CacheConfig) capacityRows(dim int) int {
+	rows := c.Rows
+	if c.Bytes > 0 {
+		rows = int(c.Bytes / (int64(dim) * 4))
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+// cacheEntry is one resident row on a segment's LRU ring.
+type cacheEntry struct {
+	key        int
+	val        []float32
+	prev, next *cacheEntry
+}
+
+// cacheSegment is an independently-locked slice of the cache's key space.
+// Sharding the lock keeps concurrent workers' lookups from serializing on
+// one mutex; keys hash to segments, so each key has exactly one home.
+type cacheSegment struct {
+	mu   sync.Mutex
+	m    map[int]*cacheEntry
+	root cacheEntry // sentinel: root.next is MRU, root.prev is LRU
+	cap  int
+
+	// doorkeeper for frequency-based admission: first-touch counts of
+	// non-resident keys, reset wholesale when it outgrows its bound.
+	freq    map[int]uint8
+	freqCap int
+
+	hits, misses, evictions, admitted uint64
+}
+
+func (s *cacheSegment) init(capRows int, lfu bool) {
+	s.m = make(map[int]*cacheEntry, capRows)
+	s.root.next, s.root.prev = &s.root, &s.root
+	s.cap = capRows
+	if lfu {
+		s.freqCap = 8 * capRows
+		s.freq = make(map[int]uint8)
+	}
+}
+
+func (s *cacheSegment) moveFront(e *cacheEntry) {
+	e.prev.next, e.next.prev = e.next, e.prev
+	s.pushFront(e)
+}
+
+func (s *cacheSegment) pushFront(e *cacheEntry) {
+	e.prev, e.next = &s.root, s.root.next
+	e.prev.next, e.next.prev = e, e
+}
+
+// Cached layers a hot-row cache over any backend. Hits return the cache's
+// own copy of the row (heap memory — genuinely resident regardless of what
+// the OS does with the backend's pages); misses read through, and eviction
+// never invalidates a slice already handed to a reader.
+type Cached struct {
+	base    Store
+	policy  CachePolicy
+	capRows int
+	segs    []cacheSegment
+	segMask uint64
+}
+
+// NewCached wraps base with a hot-row cache.
+func NewCached(base Store, cfg CacheConfig) (*Cached, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == CacheNone {
+		return nil, fmt.Errorf("embstore: NewCached with CacheNone policy")
+	}
+	capRows := cfg.capacityRows(base.Dim())
+	nseg := 1
+	for nseg < 16 && nseg*8 <= capRows {
+		nseg *= 2
+	}
+	c := &Cached{base: base, policy: cfg.Policy, capRows: capRows, segs: make([]cacheSegment, nseg), segMask: uint64(nseg - 1)}
+	perSeg := (capRows + nseg - 1) / nseg
+	for i := range c.segs {
+		c.segs[i].init(perSeg, cfg.Policy == CacheLFUAdmit)
+	}
+	return c, nil
+}
+
+// Base returns the wrapped backend.
+func (c *Cached) Base() Store { return c.base }
+
+// Policy returns the cache's admission/eviction policy.
+func (c *Cached) Policy() CachePolicy { return c.policy }
+
+// CapacityRows returns the resolved row capacity.
+func (c *Cached) CapacityRows() int { return c.capRows }
+
+// Rows returns the backend's row count.
+func (c *Cached) Rows() int { return c.base.Rows() }
+
+// Dim returns the embedding width.
+func (c *Cached) Dim() int { return c.base.Dim() }
+
+// Row returns row i, serving from the cache when resident.
+func (c *Cached) Row(i int) []float32 {
+	seg := &c.segs[splitmix64(uint64(i))&c.segMask]
+	seg.mu.Lock()
+	if e, ok := seg.m[i]; ok {
+		seg.hits++
+		seg.moveFront(e)
+		v := e.val
+		seg.mu.Unlock()
+		return v
+	}
+	seg.misses++
+	admit := true
+	if c.policy == CacheLFUAdmit {
+		if f := seg.freq[i] + 1; f < 2 {
+			if len(seg.freq) >= seg.freqCap {
+				clear(seg.freq) // wholesale age-out keeps the doorkeeper bounded
+			}
+			seg.freq[i] = f
+			admit = false
+		} else {
+			delete(seg.freq, i)
+		}
+	}
+	seg.mu.Unlock()
+
+	// Read the backend outside the lock: concurrent misses on the same row
+	// both read through (idempotent) and at most one copy ends up resident.
+	src := c.base.Row(i)
+	if !admit {
+		return src
+	}
+	v := make([]float32, len(src))
+	copy(v, src)
+
+	seg.mu.Lock()
+	if e, ok := seg.m[i]; ok { // lost the admit race; the row is already in
+		seg.moveFront(e)
+		seg.mu.Unlock()
+		return v
+	}
+	seg.admitted++
+	var e *cacheEntry
+	if len(seg.m) >= seg.cap { // reuse the LRU victim's entry
+		e = seg.root.prev
+		e.prev.next, e.next.prev = e.next, e.prev
+		delete(seg.m, e.key)
+		seg.evictions++
+	} else {
+		e = &cacheEntry{}
+	}
+	e.key, e.val = i, v
+	seg.pushFront(e)
+	seg.m[i] = e
+	seg.mu.Unlock()
+	return v
+}
+
+// Stats folds the per-segment counters with the backend's read traffic:
+// BytesRead is what actually reached backing storage (miss traffic).
+func (c *Cached) Stats() Stats {
+	st := Stats{CapacityRows: c.capRows, BytesRead: c.base.Stats().BytesRead}
+	for i := range c.segs {
+		seg := &c.segs[i]
+		seg.mu.Lock()
+		st.Hits += seg.hits
+		st.Misses += seg.misses
+		st.Evictions += seg.evictions
+		st.Admitted += seg.admitted
+		st.ResidentRows += len(seg.m)
+		seg.mu.Unlock()
+	}
+	return st
+}
+
+// Close closes the backend.
+func (c *Cached) Close() error { return c.base.Close() }

@@ -1,0 +1,21 @@
+//go:build !unix
+
+package embstore
+
+import (
+	"io"
+	"os"
+)
+
+// Non-unix fallback: without mmap the "mapping" is a plain read of the
+// whole file into memory. Functionally identical (same rows, same
+// counters); the demand-paging economics are unix-only.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(size)), b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func munmap(b []byte) error { return nil }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package embstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared. Pages fault in on
+// demand; the kernel page cache owns residency.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmap releases a mapping from mmapFile.
+func munmap(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,61 @@
+package embstore
+
+import (
+	"math/rand"
+	rand2 "math/rand/v2"
+)
+
+// Row content at scale is a pure function of (seed, table, row): each row
+// owns a PCG stream keyed by a splitmix64 mix of its coordinates. O(1)
+// addressability is the property everything else leans on — a 10^8-row
+// table never has to be generated front to back, shard files can be written
+// independently and in any order, and Synth can recompute any single row on
+// demand. The classic zoo path instead draws all tables from one sequential
+// math/rand stream, which cannot be entered mid-way (NormFloat64 consumes a
+// variable number of underlying draws); the stream-seeded helpers at the
+// bottom reproduce that order for bit-exact parity tests at small scale.
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed 64-bit
+// permutation (Steele et al., "Fast splittable pseudorandom number
+// generators").
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rowKeys derives the two 64-bit PCG seeds for (seed, table, row).
+func rowKeys(seed int64, table, row int) (uint64, uint64) {
+	base := splitmix64(uint64(seed)) ^ splitmix64(uint64(table)+0x633d5169)
+	k1 := splitmix64(base + uint64(row))
+	k2 := splitmix64(k1 ^ base)
+	return k1, k2
+}
+
+// FillRow writes row `row` of table `table` under base seed `seed` into
+// dst: len(dst) small-normal draws with stddev EmbStddev from the row's own
+// PCG stream. All per-row-seeded backends (Dense, Synth, files written by
+// Generate) produce rows through this one function, so they are bitwise
+// interchangeable.
+func FillRow(dst []float32, seed int64, table, row int) {
+	k1, k2 := rowKeys(seed, table, row)
+	rng := rand2.New(rand2.NewPCG(k1, k2))
+	for j := range dst {
+		dst[j] = float32(rng.NormFloat64()) * EmbStddev
+	}
+}
+
+// FillRowsStream writes count rows of width dim into dst (row-major,
+// len(dst) = count*dim) drawn sequentially from the classic zoo
+// construction stream — draw-for-draw identical to the
+// tensor.RandNormal(rng, count, dim, EmbStddev) call inside
+// nn.NewEmbeddingTable. It consumes exactly count*dim NormFloat64 draws
+// from rng, leaving the stream positioned where the in-memory default
+// would leave it.
+func FillRowsStream(dst []float32, rng *rand.Rand, count, dim int) {
+	_ = dst[count*dim-1]
+	for i := range dst[:count*dim] {
+		dst[i] = float32(rng.NormFloat64()) * EmbStddev
+	}
+}

@@ -346,6 +346,11 @@ func (f *Fleet) Remove(id int) error {
 	f.retired.Truncated += st.Truncated
 	f.retired.FallbackServed += st.FallbackServed
 	f.retired.DegradeSteps += st.DegradeSteps
+	f.retired.EmbStore = f.retired.EmbStore || st.EmbStore
+	f.retired.EmbHits += st.EmbHits
+	f.retired.EmbMisses += st.EmbMisses
+	f.retired.EmbEvictions += st.EmbEvictions
+	f.retired.EmbBytesRead += st.EmbBytesRead
 	for i, cur := range f.replicas {
 		if cur == r {
 			f.replicas = append(f.replicas[:i], f.replicas[i+1:]...)
@@ -486,6 +491,14 @@ type Stats struct {
 	// Restarts count chaos-injected replica failures and their recoveries.
 	ScaleUps, ScaleDowns uint64
 	Crashes, Restarts    uint64
+	// Embedding-tier counters, fleet-lifetime sums over every store-backed
+	// replica (current members plus removed ones). EmbStore reports whether
+	// any replica serves from a pluggable embedding store; EmbHitRate is
+	// recomputed from the summed hit/miss counters, so it is the exact
+	// fleet-wide rate, not an average of per-replica rates.
+	EmbStore                                       bool
+	EmbHits, EmbMisses, EmbEvictions, EmbBytesRead uint64
+	EmbHitRate                                     float64
 	// Healthy is the number of routable replicas that are not failed.
 	Healthy int
 	// Replicas holds the per-replica snapshots in ID order.
@@ -519,6 +532,11 @@ func (f *Fleet) Stats() Stats {
 		Truncated:      f.retired.Truncated,
 		FallbackServed: f.retired.FallbackServed,
 		DegradeSteps:   f.retired.DegradeSteps,
+		EmbStore:       f.retired.EmbStore,
+		EmbHits:        f.retired.EmbHits,
+		EmbMisses:      f.retired.EmbMisses,
+		EmbEvictions:   f.retired.EmbEvictions,
+		EmbBytesRead:   f.retired.EmbBytesRead,
 		FrontSubmitted: f.frontSubmitted.Load(),
 		Retried:        f.retried.Load(),
 		ScaleUps:       f.scaleUps.Load(),
@@ -545,6 +563,11 @@ func (f *Fleet) Stats() Stats {
 		st.Truncated += rs.Truncated
 		st.FallbackServed += rs.FallbackServed
 		st.DegradeSteps += rs.DegradeSteps
+		st.EmbStore = st.EmbStore || rs.EmbStore
+		st.EmbHits += rs.EmbHits
+		st.EmbMisses += rs.EmbMisses
+		st.EmbEvictions += rs.EmbEvictions
+		st.EmbBytesRead += rs.EmbBytesRead
 		gpuItems += rs.GPUItems
 		workItems += rs.WorkItems
 		if !r.draining && r.healthy() {
@@ -566,6 +589,9 @@ func (f *Fleet) Stats() Stats {
 	}
 	if workItems > 0 {
 		st.GPUWorkShare = float64(gpuItems) / float64(workItems)
+	}
+	if lookups := st.EmbHits + st.EmbMisses; lookups > 0 {
+		st.EmbHitRate = float64(st.EmbHits) / float64(lookups)
 	}
 	if len(merged) > 0 {
 		st.WindowLen = len(merged)

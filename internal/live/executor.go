@@ -9,7 +9,44 @@ import (
 
 	"github.com/deeprecinfra/deeprecsys/internal/model"
 	"github.com/deeprecinfra/deeprecsys/internal/platform"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
 )
+
+// indexSampler binds one worker's rng to the configured sparse-access
+// distribution, caching one source per table geometry: the degrade fallback
+// model (and a sharded store) can serve a different row count than the
+// service model, and a Zipf source is bound to its range at construction.
+// A nil sampler (or a model without tables) yields a nil source, which
+// NewInputSampled treats as the exact legacy rng.Intn path.
+type indexSampler struct {
+	dist workload.IndexDist
+	rng  *rand.Rand
+	srcs map[int]model.IndexSource
+}
+
+func newIndexSampler(dist workload.IndexDist, rng *rand.Rand) *indexSampler {
+	if dist == nil {
+		return nil
+	}
+	return &indexSampler{dist: dist, rng: rng, srcs: make(map[int]model.IndexSource)}
+}
+
+// source returns the sampler's IndexSource for m's table geometry.
+func (is *indexSampler) source(m *model.Model) model.IndexSource {
+	if is == nil {
+		return nil
+	}
+	rows := m.TableRows()
+	if rows <= 0 {
+		return nil
+	}
+	src, ok := is.srcs[rows]
+	if !ok {
+		src = is.dist.Source(is.rng, rows)
+		is.srcs[rows] = src
+	}
+	return src
+}
 
 // Executor is one execution lane of a live Service. The service routes each
 // accepted query to exactly one lane: the CPU pool splits it into
@@ -41,16 +78,17 @@ type Executor interface {
 // pin that ownership rule.
 type cpuPool struct {
 	model   *model.Model
-	batch   *atomic.Int64 // the service's live batch-size knob
-	scale   *atomicScale  // live service-time stretch; the CPU lane only slows (>= 1 effective)
-	intraOp int           // goroutines a big chunk's forward pass may fan out to
+	batch   *atomic.Int64      // the service's live batch-size knob
+	scale   *atomicScale       // live service-time stretch; the CPU lane only slows (>= 1 effective)
+	intraOp int                // goroutines a big chunk's forward pass may fan out to
+	access  workload.IndexDist // sparse-row popularity; nil = uniform fast path
 	tasks   chan chunk
 	wg      sync.WaitGroup
 }
 
 // newCPUPool starts the worker pool.
-func newCPUPool(m *model.Model, batch *atomic.Int64, workers, queueDepth int, seed int64, scale *atomicScale, intraOp int) *cpuPool {
-	p := &cpuPool{model: m, batch: batch, scale: scale, intraOp: intraOp, tasks: make(chan chunk, queueDepth)}
+func newCPUPool(m *model.Model, batch *atomic.Int64, workers, queueDepth int, seed int64, scale *atomicScale, intraOp int, access workload.IndexDist) *cpuPool {
+	p := &cpuPool{model: m, batch: batch, scale: scale, intraOp: intraOp, access: access, tasks: make(chan chunk, queueDepth)}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go p.worker(rand.New(rand.NewSource(seed + int64(w))))
@@ -67,6 +105,7 @@ func (p *cpuPool) worker(rng *rand.Rand) {
 	for i := range scratches {
 		scratches[i] = model.NewScratch()
 	}
+	sampler := newIndexSampler(p.access, rng)
 	for c := range p.tasks {
 		if c.q.skip.Load() {
 			c.q.retire()
@@ -81,7 +120,7 @@ func (p *cpuPool) worker(rng *rand.Rand) {
 			m = p.model
 		}
 		start := time.Now()
-		in := m.NewInputInto(scratches[0], rng, c.size)
+		in := m.NewInputSampled(scratches[0], rng, c.size, sampler.source(m))
 		// With IntraOp > 1, big-batch chunks split across the par pool for
 		// intra-query parallelism (bit-identical results).
 		out := m.ForwardMaybeSplit(scratches, in)
@@ -155,16 +194,17 @@ type accelerator struct {
 	model   *model.Model
 	gpu     *platform.GPU
 	profile model.Profile
-	scale   *atomicScale  // live service-time stretch on the modeled device time
-	slots   chan struct{} // one token per concurrent device stream
-	seq     atomic.Int64  // per-query seed stream for ranked offloads
+	scale   *atomicScale       // live service-time stretch on the modeled device time
+	access  workload.IndexDist // sparse-row popularity for ranked offloads; nil = uniform
+	slots   chan struct{}      // one token per concurrent device stream
+	seq     atomic.Int64       // per-query seed stream for ranked offloads
 	seed    int64
 	scratch sync.Pool // *model.Scratch for ranked offloads (one per active stream)
 	wg      sync.WaitGroup
 }
 
 // newAccelerator builds the lane for one device model.
-func newAccelerator(m *model.Model, gpu *platform.GPU, seed int64, scale *atomicScale) *accelerator {
+func newAccelerator(m *model.Model, gpu *platform.GPU, seed int64, scale *atomicScale, access workload.IndexDist) *accelerator {
 	streams := gpu.Streams
 	if streams < 1 {
 		streams = 1
@@ -174,6 +214,7 @@ func newAccelerator(m *model.Model, gpu *platform.GPU, seed int64, scale *atomic
 		gpu:     gpu,
 		profile: model.BuildProfile(m.Cfg),
 		scale:   scale,
+		access:  access,
 		slots:   make(chan struct{}, streams),
 		seed:    seed,
 	}
@@ -222,7 +263,9 @@ func (a *accelerator) run(iq *inflight, size int) {
 		}
 		rng := rand.New(rand.NewSource(a.seed + a.seq.Add(1)))
 		s := a.scratch.Get().(*model.Scratch)
-		out := m.ForwardInto(s, m.NewInputInto(s, rng, size))
+		// Ranked offloads bind one fresh source per query — the per-query
+		// rng is fresh too, so the draw sequence stays deterministic.
+		out := m.ForwardInto(s, m.NewInputSampled(s, rng, size, newIndexSampler(a.access, rng).source(m)))
 		if n > size {
 			n = size
 		}

@@ -112,6 +112,14 @@ type Config struct {
 	// degrade controller runs when the ladder is non-empty and an SLA is
 	// set; SetDegradeLevel moves the ladder manually either way.
 	Degrade DegradeConfig
+	// Access is the sparse-index popularity distribution query inputs draw
+	// rows from (nil = uniform, the classic default). Skewed access
+	// (workload.ZipfAccess) concentrates lookups on a hot row set — the
+	// production traffic shape that makes the embedding cache tier
+	// effective. Each CPU worker binds one source per model geometry to its
+	// own rng, and ranked accelerator queries bind one per query, so draw
+	// sequences stay deterministic under Seed.
+	Access workload.IndexDist
 	// Seed makes the per-worker input RNGs deterministic (default 1).
 	Seed int64
 	// Scale stretches every service time by this factor (default 1) — the
@@ -204,6 +212,12 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.IntraOp < 1 || cfg.IntraOp > 64 {
 		return cfg, fmt.Errorf("live: intra-op parallelism %d outside [1, 64]", cfg.IntraOp)
 	}
+	if _, uniform := cfg.Access.(workload.UniformAccess); uniform {
+		// The unwrapped uniform source is bit-identical to the legacy
+		// rng.Intn stream (pinned by workload's equivalence test), so
+		// explicit uniform access takes the exact nil-sampler fast path.
+		cfg.Access = nil
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -295,6 +309,20 @@ type Stats struct {
 	// Failed counts queries aborted with ErrReplicaDown by fault
 	// injection (in-flight at Fail, or arriving while failed).
 	Failed uint64
+	// EmbStore reports whether a pluggable embedding store backs the
+	// model's tables; the Emb* counters below are zero otherwise (classic
+	// in-memory tables have nothing to count).
+	EmbStore bool
+	// EmbHits / EmbMisses / EmbEvictions are the embedding-cache counters
+	// summed across the model's tables (the degrade fallback model's
+	// included when it is store-backed); EmbBytesRead is the bytes fetched
+	// from backing storage — mmap'd files or the synthetic generator — so
+	// it measures exactly the traffic the cache did NOT absorb.
+	EmbHits, EmbMisses, EmbEvictions uint64
+	EmbBytesRead                     uint64
+	// EmbHitRate is EmbHits / (EmbHits + EmbMisses), 0 until a store-backed
+	// lookup has been served.
+	EmbHitRate float64
 }
 
 // MeetsSLA reports whether the online p95 is within the target (false when
@@ -408,9 +436,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Admission.Policy != AdmitAll {
 		s.adm = newAdmission(cfg.Admission)
 	}
-	s.cpu = newCPUPool(cfg.Model, &s.batch, cfg.Workers, cfg.QueueDepth, cfg.Seed, &s.scale, cfg.IntraOp)
+	s.cpu = newCPUPool(cfg.Model, &s.batch, cfg.Workers, cfg.QueueDepth, cfg.Seed, &s.scale, cfg.IntraOp, cfg.Access)
 	if cfg.GPU != nil {
-		s.acc = newAccelerator(cfg.Model, cfg.GPU, cfg.Seed, &s.scale)
+		s.acc = newAccelerator(cfg.Model, cfg.GPU, cfg.Seed, &s.scale, cfg.Access)
 	}
 	if cfg.AutoTune {
 		s.ctrlStop = make(chan struct{})
@@ -728,6 +756,19 @@ func (s *Service) Stats() Stats {
 	}
 	if s.adm != nil {
 		st.Queued = s.adm.queued()
+	}
+	if est, ok := s.cfg.Model.EmbStats(); ok {
+		if s.cfg.Degrade.Fallback != nil {
+			if fst, fok := s.cfg.Degrade.Fallback.EmbStats(); fok {
+				est = est.Add(fst)
+			}
+		}
+		st.EmbStore = true
+		st.EmbHits = est.Hits
+		st.EmbMisses = est.Misses
+		st.EmbEvictions = est.Evictions
+		st.EmbBytesRead = est.BytesRead
+		st.EmbHitRate = est.HitRate()
 	}
 	if total := st.GPUQueries + s.cpuQueries.Load(); total > 0 {
 		st.GPUQueryShare = float64(st.GPUQueries) / float64(total)

@@ -8,10 +8,25 @@ package model
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"github.com/deeprecinfra/deeprecsys/internal/nn"
 )
+
+// TableOpener opens the row-storage backend for one embedding table when a
+// Config runs in at-scale store mode (Config.Tables != nil). It receives
+// the table index, the full-table geometry, and the model's base seed;
+// internal/embstore backends derive deterministic row content from
+// (seed, table, row), so a returned store may serve fewer rows than `rows`
+// (a replica's shard) while remaining a consistent slice of the same table.
+//
+// rng is the model's construction stream positioned exactly where the
+// default dense path would draw this table's weights. Production openers
+// leave it untouched (their content is per-row seeded); the stream-seeded
+// test openers in embstore consume exactly rows*dim NormFloat64 draws to
+// reproduce the default weights bit-for-bit.
+type TableOpener func(table, rows, dim int, rng *rand.Rand, seed int64) (nn.RowStore, error)
 
 // Bottleneck classifies a model's runtime-dominant operator group, the
 // paper's Table II taxonomy.
@@ -89,6 +104,13 @@ type Config struct {
 	// the first two table embeddings is concatenated into the interaction.
 	UseGMF bool
 
+	// Tables, when non-nil, switches embedding storage to at-scale store
+	// mode: each table is opened through this hook (mmap'd files, on-demand
+	// synthesis, hot-row caches — internal/embstore) instead of
+	// materializing a dense in-memory tensor. Nil keeps the classic path,
+	// bit-identical to every release since the seed.
+	Tables TableOpener
+
 	// Service characteristics (Table II).
 	Class     Bottleneck
 	SLAMedium time.Duration
@@ -136,6 +158,34 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("model %s: SLA target required", c.Name)
 	}
 	return nil
+}
+
+// WithTableScale returns a copy of the config with its table geometry
+// scaled: rows overrides TableRows and lookups overrides LookupsPerTable
+// (zero keeps the current value). The scaled config is re-validated, so an
+// impossible geometry fails here rather than at model construction. With
+// both arguments zero the config is returned unchanged — byte-identical
+// defaults.
+func (c Config) WithTableScale(rows, lookups int) (Config, error) {
+	if rows < 0 || lookups < 0 {
+		return c, fmt.Errorf("model %s: negative table scale (rows %d, lookups %d)", c.Name, rows, lookups)
+	}
+	if rows == 0 && lookups == 0 {
+		return c, nil
+	}
+	if c.NumTables == 0 {
+		return c, fmt.Errorf("model %s: table scale on a model without embedding tables", c.Name)
+	}
+	if rows > 0 {
+		c.TableRows = rows
+	}
+	if lookups > 0 {
+		c.LookupsPerTable = lookups
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
 }
 
 // SLATarget is one of the three tail-latency targets the paper evaluates

@@ -24,6 +24,10 @@ type Model struct {
 	gru        *nn.GRU
 	predictors []*nn.MLP
 
+	// stores holds the at-scale table backends when Cfg.Tables is set
+	// (store mode), for stats aggregation and Close. Empty in classic mode.
+	stores []nn.RowStore
+
 	// scratchPool backs the allocating Forward wrapper so callers without
 	// their own per-worker Scratch still run the arena path.
 	scratchPool sync.Pool
@@ -50,7 +54,22 @@ func New(cfg Config, seed int64) (*Model, error) {
 			// attention / AUGRU stage, so the bag's own pool is unused.
 			pool = nn.PoolSum
 		}
-		m.bags[i] = nn.NewEmbeddingBag(rng, cfg.TableRows, cfg.EmbDim, pool)
+		if cfg.Tables == nil {
+			m.bags[i] = nn.NewEmbeddingBag(rng, cfg.TableRows, cfg.EmbDim, pool)
+			m.bags[i].Table.ID = i
+			continue
+		}
+		st, err := cfg.Tables(i, cfg.TableRows, cfg.EmbDim, rng, seed)
+		if err != nil {
+			m.closeStores()
+			return nil, fmt.Errorf("model %s: opening table %d: %w", cfg.Name, i, err)
+		}
+		if st.Dim() != cfg.EmbDim || st.Rows() < 1 || st.Rows() > cfg.TableRows {
+			m.closeStores()
+			return nil, fmt.Errorf("model %s: table %d store serves %d x %d, config wants <=%d x %d", cfg.Name, i, st.Rows(), st.Dim(), cfg.TableRows, cfg.EmbDim)
+		}
+		m.stores = append(m.stores, st)
+		m.bags[i] = &nn.EmbeddingBag{Table: nn.NewStoreEmbeddingTable(i, st), Pool: pool}
 	}
 	if cfg.SeqPool != SeqNone {
 		m.attention = nn.NewAttention(rng, cfg.EmbDim, cfg.AttentionHidden)
@@ -109,6 +128,17 @@ func (m *Model) NewInput(rng *rand.Rand, size int) *Input {
 // identical generator states. The returned Input aliases s and is valid
 // until the next NewInputInto call on the same Scratch.
 func (m *Model) NewInputInto(s *Scratch, rng *rand.Rand, size int) *Input {
+	return m.NewInputSampled(s, rng, size, nil)
+}
+
+// NewInputSampled is NewInputInto with the sparse-index draws delegated to
+// src (a skewed access distribution from internal/workload — Zipf hot-row
+// popularity and friends). A nil src draws uniform indices from rng on
+// exactly the classic stream, making NewInputInto a zero-cost alias; a
+// non-nil src must produce indices within [0, Model.TableRows()) — each
+// draw is consumed in the same per-table, per-item, per-lookup order the
+// uniform path uses. Dense features always come from rng.
+func (m *Model) NewInputSampled(s *Scratch, rng *rand.Rand, size int, src IndexSource) *Input {
 	if size <= 0 {
 		panic(fmt.Sprintf("model: input size must be positive, got %d", size))
 	}
@@ -149,6 +179,9 @@ func (m *Model) NewInputInto(s *Scratch, rng *rand.Rand, size int) *Input {
 		if m.isSeqTable(t) {
 			lookups = m.Cfg.SeqLen
 		}
+		// In classic mode this is Cfg.TableRows; a sharded store narrows
+		// the draw range to the rows this replica actually serves.
+		rows := m.bags[t].Table.Rows()
 		perItem := in.Sparse[t]
 		if cap(perItem) >= size {
 			perItem = perItem[:size]
@@ -164,8 +197,14 @@ func (m *Model) NewInputInto(s *Scratch, rng *rand.Rand, size int) *Input {
 			} else {
 				idxs = make([]int, lookups)
 			}
-			for j := range idxs {
-				idxs[j] = rng.Intn(m.Cfg.TableRows)
+			if src != nil {
+				for j := range idxs {
+					idxs[j] = src.Next()
+				}
+			} else {
+				for j := range idxs {
+					idxs[j] = rng.Intn(rows)
+				}
 			}
 			perItem[i] = idxs
 		}

@@ -1,0 +1,91 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/deeprecinfra/deeprecsys/internal/embstore"
+	"github.com/deeprecinfra/deeprecsys/internal/nn"
+)
+
+// IndexSource yields one sparse row index per Next call. It is the
+// model-side contract for internal/workload's skewed access distributions:
+// a source is bound to one rng and one row range and is not safe for
+// concurrent use (each worker holds its own).
+type IndexSource interface {
+	Next() int
+}
+
+// TableRows returns the row count the model's embedding tables actually
+// serve — Cfg.TableRows in classic mode, the shard's row count when a
+// sharded store backs the tables, and 0 for models without tables. Index
+// samplers must draw from [0, TableRows()).
+func (m *Model) TableRows() int {
+	if len(m.bags) == 0 {
+		return 0
+	}
+	return m.bags[0].Table.Rows()
+}
+
+// EmbStats aggregates the embedding-store counters (cache hits/misses/
+// evictions, bytes read from backing storage) across the model's tables.
+// ok is false in classic mode, where the dense in-memory tables have no
+// counters to report.
+func (m *Model) EmbStats() (st embstore.Stats, ok bool) {
+	for _, s := range m.stores {
+		if sp, has := s.(interface{ Stats() embstore.Stats }); has {
+			st = st.Add(sp.Stats())
+			ok = true
+		}
+	}
+	return st, ok
+}
+
+// Close releases the model's table backends (file mappings). It is a no-op
+// in classic mode; a store-backed model must not serve after Close.
+func (m *Model) Close() error {
+	return m.closeStores()
+}
+
+func (m *Model) closeStores() error {
+	var err error
+	for _, s := range m.stores {
+		if c, ok := s.(interface{ Close() error }); ok {
+			if cerr := c.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	m.stores = nil
+	return err
+}
+
+// ValidateInput checks in's shape and every sparse index against the
+// model's table geometry, returning the first violation as an error
+// wrapping *nn.IndexError. The generated-input paths produce valid indices
+// by construction; this is the front door for externally-constructed
+// batches and for regression tests of the bounds-hardened lookup paths.
+func (m *Model) ValidateInput(in *Input) error {
+	if in == nil || in.Size <= 0 {
+		return fmt.Errorf("model %s: empty input", m.Cfg.Name)
+	}
+	if len(in.Sparse) != m.Cfg.NumTables {
+		return fmt.Errorf("model %s: input has %d sparse features, want %d", m.Cfg.Name, len(in.Sparse), m.Cfg.NumTables)
+	}
+	for t, perItem := range in.Sparse {
+		if len(perItem) != in.Size {
+			return fmt.Errorf("model %s: table %d has %d items, want %d", m.Cfg.Name, t, len(perItem), in.Size)
+		}
+		table := m.bags[t].Table
+		for i, idxs := range perItem {
+			for _, idx := range idxs {
+				if err := table.CheckIndex(idx); err != nil {
+					return fmt.Errorf("model %s: item %d: %w", m.Cfg.Name, i, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ensure nn.RowStore and embstore.Store stay structurally compatible.
+var _ nn.RowStore = (embstore.Store)(nil)

@@ -7,52 +7,60 @@ import (
 	"github.com/deeprecinfra/deeprecsys/internal/nn"
 )
 
+// DefaultTableRows is the zoo's default embedding-table row count: scaled
+// down from production (up to ~10^8 rows, tens of GBs per model) so the
+// default dense in-memory tables stay tractable. Production-scale row
+// counts are a geometry override away — Config.WithTableScale or the
+// serve/tables `-rows` flag — typically combined with an at-scale backend
+// (Config.Tables, internal/embstore) so the rows never materialize densely.
+const DefaultTableRows = 10000
+
 // Zoo returns the eight industry-representative configurations of the
 // paper's Table I, in the paper's reporting order. Embedding-table row
-// counts are scaled down from production (tens of GBs) to keep functional
-// execution tractable; per-item lookup counts and vector dimensions — the
-// parameters that determine memory traffic per inference — follow Table I.
-// SLA targets and bottleneck classes follow Table II.
+// counts default to the scaled-down DefaultTableRows; per-item lookup
+// counts and vector dimensions — the parameters that determine memory
+// traffic per inference — follow Table I. SLA targets and bottleneck
+// classes follow Table II.
 func Zoo() []Config {
 	return []Config{
 		{
 			Name: "DLRM-RMC1", Company: "Facebook", Domain: "social media",
 			DenseInDim: 128, DenseFC: []int{256, 128, 32},
-			NumTables: 8, TableRows: 10000, LookupsPerTable: 80, EmbDim: 32, Pool: nn.PoolSum,
+			NumTables: 8, TableRows: DefaultTableRows, LookupsPerTable: 80, EmbDim: 32, Pool: nn.PoolSum,
 			PredictFC: []int{256, 64}, NumTasks: 1,
 			Class: EmbeddingDominated, SLAMedium: 100 * time.Millisecond,
 		},
 		{
 			Name: "DLRM-RMC2", Company: "Facebook", Domain: "social media",
 			DenseInDim: 128, DenseFC: []int{256, 128, 32},
-			NumTables: 32, TableRows: 10000, LookupsPerTable: 80, EmbDim: 32, Pool: nn.PoolSum,
+			NumTables: 32, TableRows: DefaultTableRows, LookupsPerTable: 80, EmbDim: 32, Pool: nn.PoolSum,
 			PredictFC: []int{512, 128}, NumTasks: 1,
 			Class: EmbeddingDominated, SLAMedium: 400 * time.Millisecond,
 		},
 		{
 			Name: "DLRM-RMC3", Company: "Facebook", Domain: "social media",
 			DenseInDim: 256, DenseFC: []int{2560, 512, 32},
-			NumTables: 10, TableRows: 10000, LookupsPerTable: 20, EmbDim: 32, Pool: nn.PoolSum,
+			NumTables: 10, TableRows: DefaultTableRows, LookupsPerTable: 20, EmbDim: 32, Pool: nn.PoolSum,
 			PredictFC: []int{512, 128}, NumTasks: 1,
 			Class: MLPDominated, SLAMedium: 100 * time.Millisecond,
 		},
 		{
 			Name: "NCF", Company: "-", Domain: "movies",
-			NumTables: 4, TableRows: 10000, LookupsPerTable: 1, EmbDim: 64, Pool: nn.PoolConcat,
+			NumTables: 4, TableRows: DefaultTableRows, LookupsPerTable: 1, EmbDim: 64, Pool: nn.PoolConcat,
 			PredictFC: []int{256, 256, 128}, NumTasks: 1, UseGMF: true,
 			Class: MLPDominated, SLAMedium: 5 * time.Millisecond,
 		},
 		{
 			Name: "WnD", Company: "Google", Domain: "play store",
 			DenseInDim: 1000, // raw dense features bypass the Dense-FC stack
-			NumTables:  20, TableRows: 10000, LookupsPerTable: 1, EmbDim: 32, Pool: nn.PoolConcat,
+			NumTables:  20, TableRows: DefaultTableRows, LookupsPerTable: 1, EmbDim: 32, Pool: nn.PoolConcat,
 			PredictFC: []int{1024, 512, 256}, NumTasks: 1,
 			Class: MLPDominated, SLAMedium: 25 * time.Millisecond,
 		},
 		{
 			Name: "MT-WnD", Company: "Google", Domain: "youtube",
 			DenseInDim: 1000,
-			NumTables:  20, TableRows: 10000, LookupsPerTable: 1, EmbDim: 32, Pool: nn.PoolConcat,
+			NumTables:  20, TableRows: DefaultTableRows, LookupsPerTable: 1, EmbDim: 32, Pool: nn.PoolConcat,
 			// The paper's MT-WnD evaluates N parallel objective heads; we
 			// size N=3 so the model remains servable within its 25 ms SLA
 			// on this slower pure-Go substrate (see docs/DESIGN.md).
@@ -61,7 +69,7 @@ func Zoo() []Config {
 		},
 		{
 			Name: "DIN", Company: "Alibaba", Domain: "e-commerce",
-			NumTables: 16, TableRows: 10000, LookupsPerTable: 1, EmbDim: 32, Pool: nn.PoolConcat,
+			NumTables: 16, TableRows: DefaultTableRows, LookupsPerTable: 1, EmbDim: 32, Pool: nn.PoolConcat,
 			SeqPool: SeqAttention, SeqTables: 4, SeqLen: 150, AttentionHidden: 36,
 			PredictFC: []int{200, 80}, NumTasks: 1,
 			// Table II lists DIN as "Embedding + Attention dominated";
@@ -70,7 +78,7 @@ func Zoo() []Config {
 		},
 		{
 			Name: "DIEN", Company: "Alibaba", Domain: "e-commerce",
-			NumTables: 16, TableRows: 10000, LookupsPerTable: 1, EmbDim: 32, Pool: nn.PoolConcat,
+			NumTables: 16, TableRows: DefaultTableRows, LookupsPerTable: 1, EmbDim: 32, Pool: nn.PoolConcat,
 			SeqPool: SeqAUGRU, SeqTables: 2, SeqLen: 20, AttentionHidden: 36, GRUHidden: 32,
 			PredictFC: []int{200, 80}, NumTasks: 1,
 			Class: AttentionDominated, SLAMedium: 35 * time.Millisecond,

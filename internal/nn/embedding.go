@@ -32,30 +32,107 @@ func (p Pooling) String() string {
 	}
 }
 
-// EmbeddingTable is one sparse feature's latent-vector table. Production
-// tables hold up to billions of rows; the zoo scales row counts down (the
-// performance models account for full-size tables separately) while keeping
-// lookup counts and vector dimensions faithful to Table I, since those are
-// what determine per-query memory traffic.
-type EmbeddingTable struct {
-	Weights *tensor.Tensor // [rows x dim]
+// RowStore is the read surface of a pluggable embedding-row backend (the
+// internal/embstore stores satisfy it structurally; nn stays free of that
+// dependency). Implementations must support concurrent Row calls; returned
+// slices are read-only for the caller.
+type RowStore interface {
+	Rows() int
+	Dim() int
+	Row(i int) []float32
 }
 
-// NewEmbeddingTable creates a table of shape [rows x dim] with small-normal
-// initialization.
+// IndexError reports a sparse index outside its table's row range. Lookup
+// paths panic with a *IndexError (a corrupted query is a programming error,
+// not an input condition), so recovery layers and tests can distinguish it
+// from an arbitrary slice-bounds failure and name the offending table/row.
+type IndexError struct {
+	Table int // table index within the model
+	Index int // the offending row index
+	Rows  int // the table's row count
+}
+
+// Error implements the error interface.
+func (e *IndexError) Error() string {
+	return fmt.Sprintf("nn: embedding index %d out of range [0,%d) in table %d", e.Index, e.Rows, e.Table)
+}
+
+// EmbeddingTable is one sparse feature's latent-vector table. Production
+// tables hold up to billions of rows; the default zoo scales row counts
+// down while keeping lookup counts and vector dimensions faithful to
+// Table I, since those are what determine per-query memory traffic. At
+// scale, a table is instead backed by a pluggable RowStore (mmap'd files,
+// on-demand synthesis, hot-row caches — see internal/embstore), restoring
+// production-sized row counts without materializing dense weights.
+//
+// Exactly one of Weights and Store is non-nil. The Weights path is the
+// historical hot path and is preserved verbatim (including its
+// memory-level-parallel pooling); the Store path gathers through the
+// interface, serially per item, with bit-identical accumulation order.
+type EmbeddingTable struct {
+	Weights *tensor.Tensor // [rows x dim], dense in-memory backend
+	Store   RowStore       // at-scale backend (nil when Weights-backed)
+	ID      int            // table index within the model, for IndexError
+}
+
+// NewEmbeddingTable creates a dense in-memory table of shape [rows x dim]
+// with small-normal initialization.
 func NewEmbeddingTable(rng *rand.Rand, rows, dim int) *EmbeddingTable {
 	return &EmbeddingTable{Weights: tensor.RandNormal(rng, rows, dim, 0.05)}
 }
 
-// Rows returns the number of categories in the table.
-func (e *EmbeddingTable) Rows() int { return e.Weights.Rows }
+// NewStoreEmbeddingTable creates a table backed by st. id is the table's
+// index within its model, used in bounds-error reports.
+func NewStoreEmbeddingTable(id int, st RowStore) *EmbeddingTable {
+	return &EmbeddingTable{Store: st, ID: id}
+}
+
+// Rows returns the number of categories in the table (for a sharded store,
+// the rows this instance serves).
+func (e *EmbeddingTable) Rows() int {
+	if e.Weights != nil {
+		return e.Weights.Rows
+	}
+	return e.Store.Rows()
+}
 
 // Dim returns the latent dimension.
-func (e *EmbeddingTable) Dim() int { return e.Weights.Cols }
+func (e *EmbeddingTable) Dim() int {
+	if e.Weights != nil {
+		return e.Weights.Cols
+	}
+	return e.Store.Dim()
+}
+
+// CheckIndex validates one sparse index against the table's row range,
+// returning a *IndexError naming the table when it is out of bounds.
+func (e *EmbeddingTable) CheckIndex(idx int) error {
+	if uint(idx) >= uint(e.Rows()) {
+		return &IndexError{Table: e.ID, Index: idx, Rows: e.Rows()}
+	}
+	return nil
+}
+
+// mustIndex is CheckIndex for lookup paths whose signatures cannot carry an
+// error: it panics with the typed *IndexError.
+func (e *EmbeddingTable) mustIndex(idx int) {
+	if err := e.CheckIndex(idx); err != nil {
+		panic(err)
+	}
+}
+
+// row returns row idx from whichever backend is active. Callers have
+// already bounds-checked idx via mustIndex.
+func (e *EmbeddingTable) row(idx int) []float32 {
+	if e.Weights != nil {
+		return e.Weights.Row(idx)
+	}
+	return e.Store.Row(idx)
+}
 
 // Lookup gathers the rows at the given indices into a [len(indices) x dim]
 // tensor. Indices must be within range; out-of-range access indicates a
-// corrupted query and panics.
+// corrupted query and panics with a *IndexError.
 func (e *EmbeddingTable) Lookup(indices []int) *tensor.Tensor {
 	return e.LookupInto(nil, indices)
 }
@@ -64,11 +141,16 @@ func (e *EmbeddingTable) Lookup(indices []int) *tensor.Tensor {
 // [len(indices) x dim] tensor allocated from ar (heap when ar is nil).
 func (e *EmbeddingTable) LookupInto(ar *tensor.Arena, indices []int) *tensor.Tensor {
 	out := allocUninit(ar, len(indices), e.Dim()) // every row is copied below
-	for i, idx := range indices {
-		if idx < 0 || idx >= e.Rows() {
-			panic(fmt.Sprintf("nn: embedding index %d out of range [0,%d)", idx, e.Rows()))
+	if w := e.Weights; w != nil {
+		for i, idx := range indices {
+			e.mustIndex(idx)
+			copy(out.Row(i), w.Row(idx))
 		}
-		copy(out.Row(i), e.Weights.Row(idx))
+		return out
+	}
+	for i, idx := range indices {
+		e.mustIndex(idx)
+		copy(out.Row(i), e.Store.Row(idx))
 	}
 	return out
 }
@@ -115,9 +197,30 @@ func (b *EmbeddingBag) ForwardInto(ar *tensor.Arena, indices [][]int) *tensor.Te
 	case PoolSum:
 		out := alloc(ar, len(indices), dim)
 		w := b.Table.Weights
+		if w == nil {
+			// Store-backed gather: rows come through the RowStore interface
+			// (mmap page faults, cache probes, on-demand synthesis), pooled
+			// serially per item in list order — the same element-wise
+			// accumulation order as the dense path below, so results are
+			// bit-identical for equal row content.
+			st := b.Table.Store
+			for i, idxs := range indices {
+				row := out.Row(i)
+				for _, idx := range idxs {
+					b.Table.mustIndex(idx)
+					tensor.AddTo(row, st.Row(idx)[:len(row)])
+				}
+			}
+			return out
+		}
 		var prefetch float32
 		for i, idxs := range indices {
 			row := out.Row(i)
+			// Validate the whole item up front: the pooling loop below (and
+			// its prefetch touches) may then index the weights unchecked.
+			for _, idx := range idxs {
+				b.Table.mustIndex(idx)
+			}
 			// Pool eight gathered rows per pass: the output row stays in
 			// registers across them and the eight random-row reads miss the
 			// cache concurrently instead of serially — memory-level
@@ -170,7 +273,8 @@ func (b *EmbeddingBag) ForwardInto(ar *tensor.Arena, indices [][]int) *tensor.Te
 			}
 			row := out.Row(i)
 			for k, idx := range idxs {
-				copy(row[k*dim:(k+1)*dim], b.Table.Weights.Row(idx))
+				b.Table.mustIndex(idx)
+				copy(row[k*dim:(k+1)*dim], b.Table.row(idx))
 			}
 		}
 		return out

@@ -6,13 +6,16 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/deeprecinfra/deeprecsys/internal/cluster"
+	"github.com/deeprecinfra/deeprecsys/internal/embstore"
 	"github.com/deeprecinfra/deeprecsys/internal/fleet"
 	"github.com/deeprecinfra/deeprecsys/internal/live"
 	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
 )
 
 // ErrServiceClosed is returned by Service.Submit after Close has begun.
@@ -117,6 +120,21 @@ type ServeOptions struct {
 	// (health-checked routing steers the retry to a live replica). Requires
 	// Replicas >= 2.
 	Retry bool
+	// Access is the sparse-index popularity distribution query inputs draw
+	// embedding rows from: "uniform" (the default) or "zipf[:<s>[,<v>]]"
+	// for Zipf-skewed hot-row traffic (s > 1; s=1.2 approximates production
+	// item popularity). Skew is what makes the hot-row cache of a system
+	// built WithEmbeddingStore effective; uniform access over an at-scale
+	// table is the cache-thrash scenario.
+	Access string
+	// ShardTables splits the embedding-row space across the fleet's
+	// replicas: replica i of N maps only rows [R·i/N, R·(i+1)/N) of each
+	// table and draws its query indices from that range, so the fleet holds
+	// each row once instead of N times — the at-scale memory layout.
+	// Routing stays query-level. Requires a system built WithEmbeddingStore
+	// and Replicas >= 2; incompatible with AutoScale and AddReplica (the
+	// shard layout is fixed at Serve).
+	ShardTables bool
 }
 
 // ErrNotFleet is returned by the replica-membership methods (AddReplica,
@@ -141,10 +159,29 @@ type Service struct {
 	fl    *fleet.Fleet  // fleet mode (Replicas >= 2)
 	model string
 
+	tableRows int  // full logical embedding-table rows (0 = no tables)
+	sharded   bool // table rows split across replicas: membership is fixed
+
 	// Fleet-mode replica template for AddReplica: the base live config,
 	// specialized per added replica with the next seed in the stream.
 	base     live.Config
 	nextSeed atomic.Int64
+
+	// Store-backed fleets give every replica its own model instance so
+	// per-replica cache counters stay per-replica truth (a shared model
+	// would merge every replica's traffic into one cache). newReplicaModel
+	// builds one more (nil on classic or single-replica services); owned
+	// tracks them for Close, which releases them after the fleet drains.
+	newReplicaModel func() (*model.Model, error)
+	ownedMu         sync.Mutex
+	owned           []*model.Model
+}
+
+// addOwned records a per-replica store-backed model for release at Close.
+func (s *Service) addOwned(m *model.Model) {
+	s.ownedMu.Lock()
+	s.owned = append(s.owned, m)
+	s.ownedMu.Unlock()
 }
 
 // Serve starts a live Service for the system's model. The system's cached
@@ -158,9 +195,18 @@ type Service struct {
 // node heterogeneity (Jitter) and a partially GPU-provisioned fleet
 // (GPUReplicas).
 func (s *System) Serve(opts ServeOptions) (*Service, error) {
-	m, err := s.modelInstance()
-	if err != nil {
-		return nil, err
+	// A table-sharded fleet never serves from the shared full-table model —
+	// each replica maps only its shard — so don't build it: at scale the
+	// full table may not even be materializable on one host (that is the
+	// point of sharding). Every other mode serves the system's cached
+	// instance.
+	var m *model.Model
+	if !(opts.ShardTables && s.store != nil) {
+		var err error
+		m, err = s.modelInstance()
+		if err != nil {
+			return nil, err
+		}
 	}
 	gpu, err := s.serveAccelerator()
 	if err != nil {
@@ -181,6 +227,13 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	var access workload.IndexDist
+	if opts.Access != "" {
+		access, err = workload.ParseAccess(opts.Access)
+		if err != nil {
+			return nil, err
+		}
+	}
 	base := live.Config{
 		Model:        m,
 		Workers:      opts.Workers,
@@ -196,6 +249,7 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 		Admission:    admission,
 		Deadline:     opts.Deadline,
 		Degrade:      degrade,
+		Access:       access,
 		Seed:         s.seed,
 	}
 	if opts.Replicas < 0 {
@@ -229,6 +283,17 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 	if opts.MinReplicas < 0 || opts.MaxReplicas < 0 {
 		return nil, fmt.Errorf("deeprecsys: negative autoscale bounds [%d, %d]", opts.MinReplicas, opts.MaxReplicas)
 	}
+	if opts.ShardTables {
+		if s.store == nil {
+			return nil, errors.New("deeprecsys: ShardTables requires an embedding store (use WithEmbeddingStore)")
+		}
+		if opts.Replicas < 2 {
+			return nil, errors.New("deeprecsys: ShardTables requires a fleet (ServeOptions.Replicas >= 2)")
+		}
+		if opts.AutoScale {
+			return nil, errors.New("deeprecsys: ShardTables is incompatible with AutoScale (the shard layout is fixed at Serve)")
+		}
+	}
 	if opts.Replicas <= 1 {
 		if opts.AutoScale {
 			return nil, errors.New("deeprecsys: AutoScale requires a fleet (ServeOptions.Replicas >= 2)")
@@ -243,9 +308,19 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Service{inner: inner, model: s.cfg.Name}, nil
+		return &Service{inner: inner, model: s.cfg.Name, tableRows: s.logicalTableRows()}, nil
 	}
 	return s.serveFleet(base, opts, chaos)
+}
+
+// logicalTableRows is the full embedding-table row count the system was
+// configured with (0 when the model has no tables) — the logical table,
+// even when a sharded fleet splits it across replicas.
+func (s *System) logicalTableRows() int {
+	if s.cfg.NumTables == 0 {
+		return 0
+	}
+	return s.cfg.TableRows
 }
 
 // parseDegrade parses a ServeOptions.Degrade spec: "" or "none" disables;
@@ -291,8 +366,11 @@ func (s *System) parseDegrade(spec string) (live.DegradeConfig, error) {
 // serveFleet starts the fleet tier: opts.Replicas copies of the base
 // config, each with its own seed stream, a speed factor from the shared
 // node-jitter model, and — for replicas past GPUReplicas — no accelerator.
-// The retry, autoscale, and chaos layers start here, on top of the serving
-// fleet.
+// On a store-backed system every replica additionally gets its own model
+// instance (same model seed, so identical weights) so its embedding-cache
+// counters are its own; with ShardTables each replica's instance maps only
+// its shard of the row space. The retry, autoscale, and chaos layers start
+// here, on top of the serving fleet.
 func (s *System) serveFleet(base live.Config, opts ServeOptions, chaos fleet.ChaosConfig) (*Service, error) {
 	policy, err := fleet.ParsePolicy(opts.RoutingPolicy)
 	if err != nil {
@@ -307,11 +385,34 @@ func (s *System) serveFleet(base live.Config, opts ServeOptions, chaos fleet.Cha
 	for i := range cfgs {
 		cfgs[i] = replicaConfig(base, s.seed+replicaSeedStride*int64(i), speeds[i], base.GPU != nil && i < gpuReplicas)
 	}
+	svc := &Service{model: s.cfg.Name, base: base, tableRows: s.logicalTableRows(), sharded: opts.ShardTables}
+	if s.store != nil {
+		newStoreModel := func(shard embstore.Shard) (*model.Model, error) {
+			cfg := s.cfg
+			cfg.Tables = storeOpener(*s.store, shard)
+			return model.New(cfg, s.seed)
+		}
+		svc.newReplicaModel = func() (*model.Model, error) { return newStoreModel(embstore.Shard{}) }
+		for i := range cfgs {
+			shard := embstore.Shard{}
+			if opts.ShardTables {
+				shard = embstore.Shard{Index: i, Count: opts.Replicas}
+			}
+			m, err := newStoreModel(shard)
+			if err != nil {
+				svc.closeOwned()
+				return nil, err
+			}
+			svc.addOwned(m)
+			cfgs[i].Model = m
+		}
+	}
 	fl, err := fleet.New(cfgs, policy)
 	if err != nil {
+		svc.closeOwned()
 		return nil, err
 	}
-	svc := &Service{fl: fl, model: s.cfg.Name, base: base}
+	svc.fl = fl
 	svc.nextSeed.Store(s.seed + replicaSeedStride*int64(opts.Replicas))
 	fl.SetRetry(opts.Retry)
 	if opts.AutoScale {
@@ -330,11 +431,23 @@ func (s *System) serveFleet(base live.Config, opts ServeOptions, chaos fleet.Cha
 				// Grown replicas continue the fleet's seed stream at nominal
 				// speed, exactly like AddReplica.
 				seed := svc.nextSeed.Add(replicaSeedStride) - replicaSeedStride
-				return replicaConfig(svc.base, seed, 1, svc.base.GPU != nil)
+				cfg := replicaConfig(svc.base, seed, 1, svc.base.GPU != nil)
+				if svc.newReplicaModel != nil {
+					// Store-backed grown replicas get their own model; on a
+					// build error (e.g. table files vanished) the replica
+					// falls back to the shared base model rather than failing
+					// the scale-up.
+					if m, err := svc.newReplicaModel(); err == nil {
+						svc.addOwned(m)
+						cfg.Model = m
+					}
+				}
+				return cfg
 			},
 		})
 		if err != nil {
 			fl.Close()
+			svc.closeOwned()
 			return nil, err
 		}
 	}
@@ -342,6 +455,7 @@ func (s *System) serveFleet(base live.Config, opts ServeOptions, chaos fleet.Cha
 		chaos.Seed = s.seed
 		if err := fl.StartChaos(chaos); err != nil {
 			fl.Close()
+			svc.closeOwned()
 			return nil, err
 		}
 	}
@@ -374,11 +488,28 @@ func (s *Service) AddReplica(withGPU bool) (int, error) {
 	if s.fl == nil {
 		return 0, ErrNotFleet
 	}
+	if s.sharded {
+		return 0, errors.New("deeprecsys: cannot add a replica to a table-sharded fleet (the shard layout is fixed at Serve)")
+	}
 	if withGPU && s.base.GPU == nil {
 		return 0, errors.New("deeprecsys: AddReplica(withGPU) on a system without an accelerator (use WithGPU)")
 	}
 	seed := s.nextSeed.Add(replicaSeedStride) - replicaSeedStride
 	cfg := replicaConfig(s.base, seed, 1, withGPU)
+	if s.newReplicaModel != nil {
+		m, err := s.newReplicaModel()
+		if err != nil {
+			return 0, err
+		}
+		cfg.Model = m
+		id, err := s.fl.Add(cfg)
+		if err != nil {
+			m.Close()
+			return 0, err
+		}
+		s.addOwned(m)
+		return id, nil
+	}
 	return s.fl.Add(cfg)
 }
 
@@ -505,6 +636,21 @@ type ServiceStats struct {
 	// Replicas is the number of routable replicas (1 on a single-replica
 	// Service).
 	Replicas int
+	// TableRows is the full logical embedding-table row count the system
+	// was configured with (0 for models without tables), even when
+	// ShardTables splits it across replicas.
+	TableRows int
+	// EmbStore reports whether a pluggable embedding store backs the served
+	// model (WithEmbeddingStore); the cache counters below are zero
+	// otherwise. CacheHits / CacheMisses / CacheEvictions count hot-row
+	// cache traffic summed over every table (and every replica, removed
+	// ones included, on a fleet); CacheBytesRead is the bytes fetched from
+	// backing storage — the traffic the cache did NOT absorb. CacheHitRate
+	// is recomputed from the summed counters.
+	EmbStore                               bool
+	CacheHits, CacheMisses, CacheEvictions uint64
+	CacheBytesRead                         uint64
+	CacheHitRate                           float64
 	// RoutingPolicy is the fleet router's name ("" on a single-replica
 	// Service).
 	RoutingPolicy string
@@ -552,6 +698,11 @@ type ReplicaStats struct {
 	WindowLen int
 	// Retunes counts the replica's AutoTune knob changes.
 	Retunes uint64
+	// CacheHits / CacheMisses and CacheHitRate are the replica's own
+	// embedding-cache counters (zero without an embedding store). On a
+	// table-sharded fleet they show per-shard locality.
+	CacheHits, CacheMisses uint64
+	CacheHitRate           float64
 }
 
 // MeetsSLA reports whether the online p95 is within the target.
@@ -594,6 +745,13 @@ func (s *Service) Stats() ServiceStats {
 		DegradeLevel:   st.DegradeLevel,
 		Healthy:        1,
 		Replicas:       1,
+		TableRows:      s.tableRows,
+		EmbStore:       st.EmbStore,
+		CacheHits:      st.EmbHits,
+		CacheMisses:    st.EmbMisses,
+		CacheEvictions: st.EmbEvictions,
+		CacheBytesRead: st.EmbBytesRead,
+		CacheHitRate:   st.EmbHitRate,
 	}
 }
 
@@ -631,6 +789,13 @@ func (s *Service) fleetStats() ServiceStats {
 		Healthy:        fst.Healthy,
 		Replicas:       fst.Size,
 		RoutingPolicy:  fst.Policy,
+		TableRows:      s.tableRows,
+		EmbStore:       fst.EmbStore,
+		CacheHits:      fst.EmbHits,
+		CacheMisses:    fst.EmbMisses,
+		CacheEvictions: fst.EmbEvictions,
+		CacheBytesRead: fst.EmbBytesRead,
+		CacheHitRate:   fst.EmbHitRate,
 		PerReplica:     make([]ReplicaStats, len(fst.Replicas)),
 	}
 	for i, r := range fst.Replicas {
@@ -654,6 +819,9 @@ func (s *Service) fleetStats() ServiceStats {
 			P95:          r.Stats.P95,
 			WindowLen:    r.Stats.WindowLen,
 			Retunes:      r.Stats.Retunes,
+			CacheHits:    r.Stats.EmbHits,
+			CacheMisses:  r.Stats.EmbMisses,
+			CacheHitRate: r.Stats.EmbHitRate,
 		}
 	}
 	return st
@@ -699,10 +867,33 @@ func (s *Service) SetGPUThreshold(thr int) error {
 }
 
 // Close stops accepting queries, drains every in-flight query, and shuts
-// the worker pool(s) down. Close is idempotent.
+// the worker pool(s) down. On a store-backed fleet it then releases the
+// per-replica model instances (file mappings included) — after the drain,
+// so no forward pass reads an unmapped table. Close is idempotent.
 func (s *Service) Close() error {
+	var err error
 	if s.fl != nil {
-		return s.fl.Close()
+		err = s.fl.Close()
+	} else {
+		err = s.inner.Close()
 	}
-	return s.inner.Close()
+	if cerr := s.closeOwned(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// closeOwned releases the per-replica store-backed models (idempotent).
+func (s *Service) closeOwned() error {
+	s.ownedMu.Lock()
+	owned := s.owned
+	s.owned = nil
+	s.ownedMu.Unlock()
+	var err error
+	for _, m := range owned {
+		if cerr := m.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
