@@ -14,12 +14,18 @@
 //	deeprecsys tables gen -model DLRM-RMC1 -dir /data/emb -rows 1000000
 //	deeprecsys serve -model DLRM-RMC1 -rows 1000000 -store mmap:/data/emb,cache=lru:50000 -access zipf:1.2
 //
+//	deeprecsys models
+//	deeprecsys serve -replicas 2 -policy shape-spread -tenants "DLRM-RMC1@name=ads,sla=100ms,share=2;WnD@sla=50ms"
+//
 // By default experiments run at quick fidelity (the runs recorded in
 // EXPERIMENTS.md); -full tightens the percentile estimates (slower: the
 // headline fig11 sweep tunes three schedulers for eight models at three
 // SLA targets). The serve subcommand
 // starts a live concurrent Service executing real forward passes and
-// reports the online p95 against the model's SLA (see -help on serve).
+// reports the online p95 against the model's SLA (see -help on serve);
+// with -tenants it hosts several models on one shared pool and reports
+// per-tenant ledgers. The models subcommand lists the zoo with each
+// model's resource shape for picking co-location pairings.
 package main
 
 import (
@@ -38,6 +44,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "tables" {
 		tablesMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "models" {
+		modelsMain(os.Args[2:])
 		return
 	}
 	list := flag.Bool("list", false, "list available artifacts and exit")

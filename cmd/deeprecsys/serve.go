@@ -8,6 +8,7 @@ import (
 	_ "net/http/pprof" // -pprof exposes the live path's profiles
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -26,6 +27,7 @@ import (
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	modelName := fs.String("model", "NCF", "zoo model to serve")
+	tenants := fs.String("tenants", "", "multi-tenant serving: semicolon-separated tenant specs \"<model>[@key=val,...];...\" with keys name, sla, share, batch, thresh, admission, deadline, degrade, access, seed, cap, workload, store, rows, lookups ('+' stands for ',' inside values); overrides -model (see `deeprecsys models` for the zoo)")
 	workers := fs.Int("workers", 0, "CPU worker-pool size (0 = GOMAXPROCS)")
 	batch := fs.Int("batch", 256, "initial per-request batch size")
 	intraop := fs.Int("intraop", 1, "split one big-batch request across up to this many goroutines (1 = off)")
@@ -74,7 +76,26 @@ func serveMain(args []string) {
 		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	queries, err := driveStream(*tracePath, *wl, *arrivals, *rate, *n, *seed)
+	specs, err := deeprecsys.ParseTenants(*tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(specs) > 0 && *tracePath != "" {
+		fmt.Fprintln(os.Stderr, "serve: -trace cannot drive -tenants (each tenant generates its own stream)")
+		os.Exit(2)
+	}
+	var queries []drivenQuery
+	if len(specs) > 0 {
+		queries, err = tenantStreams(specs, *wl, *arrivals, *rate, *n, *seed)
+	} else {
+		var qs []workload.Query
+		qs, err = driveStream(*tracePath, *wl, *arrivals, *rate, *n, *seed)
+		queries = make([]drivenQuery, len(qs))
+		for i, q := range qs {
+			queries[i] = drivenQuery{arrival: q.Arrival, size: q.Size}
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -107,7 +128,13 @@ func serveMain(args []string) {
 	if *store != "" {
 		sysOpts = append(sysOpts, deeprecsys.WithEmbeddingStore(*store))
 	}
-	sys, err := deeprecsys.NewSystem(*modelName, "skylake", sysOpts...)
+	// A multi-tenant service serves the tenants' own models; the system
+	// model is a placeholder (Serve skips building it).
+	sysModel := *modelName
+	if len(specs) > 0 {
+		sysModel = specs[0].Model
+	}
+	sys, err := deeprecsys.NewSystem(sysModel, "skylake", sysOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -134,6 +161,7 @@ func serveMain(args []string) {
 		Retry:         *retry,
 		Access:        *access,
 		ShardTables:   *shardTables,
+		Tenants:       specs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -144,10 +172,17 @@ func serveMain(args []string) {
 	defer stop()
 
 	st := svc.Stats()
-	if *replicas >= 2 {
+	switch {
+	case len(specs) > 0 && *replicas >= 2:
+		fmt.Printf("serving %d tenants (%s) live: %d queries over %d shared replicas (%s routing)\n",
+			len(specs), strings.Join(svc.Tenants(), ", "), len(queries), st.Replicas, st.RoutingPolicy)
+	case len(specs) > 0:
+		fmt.Printf("serving %d tenants (%s) live: %d queries on one shared pool\n",
+			len(specs), strings.Join(svc.Tenants(), ", "), len(queries))
+	case *replicas >= 2:
 		fmt.Printf("serving %s live: %d queries over %d replicas (%s routing), batch %d, p95 target %v\n",
 			*modelName, len(queries), st.Replicas, st.RoutingPolicy, svc.BatchSize(), st.SLA)
-	} else {
+	default:
 		fmt.Printf("serving %s live: %d queries, batch %d, p95 target %v\n",
 			*modelName, len(queries), svc.BatchSize(), st.SLA)
 	}
@@ -188,7 +223,7 @@ func serveMain(args []string) {
 	start := time.Now()
 drive:
 	for _, q := range queries {
-		due := time.Duration(float64(q.Arrival) / *speed)
+		due := time.Duration(float64(q.arrival) / *speed)
 		if wait := due - time.Since(start); wait > 0 {
 			select {
 			case <-time.After(wait):
@@ -197,17 +232,23 @@ drive:
 			}
 		}
 		if submitted == 0 {
-			firstArrival = q.Arrival
+			firstArrival = q.arrival
 		}
-		lastArrival = q.Arrival
+		lastArrival = q.arrival
 		submitted++
 		wg.Add(1)
-		go func(size int) {
+		go func(size int, tenant string) {
 			defer wg.Done()
-			if _, err := svc.Submit(ctx, size, *topn); err != nil && ctx.Err() == nil {
+			var err error
+			if tenant != "" {
+				_, err = svc.SubmitTo(ctx, tenant, size, *topn)
+			} else {
+				_, err = svc.Submit(ctx, size, *topn)
+			}
+			if err != nil && ctx.Err() == nil {
 				failed.Add(1)
 			}
-		}(q.Size)
+		}(q.size, q.tenant)
 	}
 	wg.Wait()
 	close(progress)
@@ -284,11 +325,77 @@ drive:
 				r.P50.Round(10*time.Microsecond), r.P95.Round(10*time.Microsecond))
 		}
 	}
-	if final.MeetsSLA() {
+	if len(final.Tenants) > 0 {
+		fmt.Println("per-tenant:")
+		fmt.Printf("  %-12s %-10s %5s %8s %6s %6s %5s %12s %12s %10s  %s\n",
+			"tenant", "model", "share", "served", "shed", "batch", "thr", "p50", "p95", "sla", "")
+		for _, t := range final.Tenants {
+			verdict := "meets SLA"
+			if !t.MeetsSLA() {
+				verdict = "VIOLATES SLA"
+			}
+			fmt.Printf("  %-12s %-10s %5.1f %8d %6d %6d %5d %12v %12v %10v  %s\n",
+				t.Name, t.Model, t.Share, t.Completed, t.Shed+t.ShedDeadline+t.CapShed,
+				t.BatchSize, t.GPUThreshold,
+				t.P50.Round(10*time.Microsecond), t.P95.Round(10*time.Microsecond),
+				t.SLA, verdict)
+		}
+	} else if final.MeetsSLA() {
 		fmt.Printf("meets the %v p95 SLA\n", final.SLA)
 	} else {
 		fmt.Printf("VIOLATES the %v p95 SLA\n", final.SLA)
 	}
+}
+
+// drivenQuery is one query of the drive stream: an arrival offset, a size,
+// and — under -tenants — the tenant it is addressed to.
+type drivenQuery struct {
+	arrival time.Duration
+	size    int
+	tenant  string
+}
+
+// tenantStreams generates one workload stream per tenant — its own spec
+// (TenantSpec.Workload or the -workload default) at its Share-proportional
+// slice of -rate and -n, on its own seed stream — and merges them by
+// arrival time into one drive stream addressed per query.
+func tenantStreams(specs []deeprecsys.TenantSpec, defWL, arrivals string, rate float64, n int, seed int64) ([]drivenQuery, error) {
+	total := 0.0
+	for _, sp := range specs {
+		total += tenantShare(sp)
+	}
+	var out []drivenQuery
+	for i, sp := range specs {
+		frac := tenantShare(sp) / total
+		ni := int(float64(n)*frac + 0.5)
+		if ni < 1 {
+			ni = 1
+		}
+		wlSpec := sp.Workload
+		if wlSpec == "" {
+			wlSpec = defWL
+		}
+		name := sp.Name
+		if name == "" {
+			name = sp.Model
+		}
+		qs, err := workload.GenerateSpec(wlSpec, arrivals, rate*frac, ni, seed+9973*int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant %s: %w", name, err)
+		}
+		for _, q := range qs {
+			out = append(out, drivenQuery{arrival: q.Arrival, size: q.Size, tenant: name})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].arrival < out[b].arrival })
+	return out, nil
+}
+
+func tenantShare(sp deeprecsys.TenantSpec) float64 {
+	if sp.Share == 0 {
+		return 1
+	}
+	return sp.Share
 }
 
 // parseAutoscale parses the -autoscale "<min>:<max>" bounds ("" = off).

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
 )
 
 // ChaosConfig parameterizes the fault-injection layer: a controller that
@@ -142,7 +144,7 @@ func ParseChaos(spec string) (ChaosConfig, error) {
 				cfg.SlowFactor = v
 			}
 		default:
-			return ChaosConfig{}, fmt.Errorf("fleet: unknown chaos key %q in %q (have every, crash, restart, slow, factor, spike, delay)", key, spec)
+			return ChaosConfig{}, workload.UnknownSpec("fleet", "chaos key", key, "every=<dur>", "crash=<p>", "restart=<dur>", "slow=<p>", "factor=<f>", "spike=<p>", "delay=<dur>")
 		}
 	}
 	if _, err := cfg.withDefaults(); err != nil {

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"github.com/deeprecinfra/deeprecsys/internal/live"
+	"github.com/deeprecinfra/deeprecsys/internal/model"
 	"github.com/deeprecinfra/deeprecsys/internal/stats"
 	"github.com/deeprecinfra/deeprecsys/internal/workload"
 )
@@ -73,6 +74,7 @@ type replica struct {
 	removing bool // guarded by the fleet's mu
 
 	outstanding atomic.Int64
+	tenantOut   []atomic.Int64 // per-tenant slice of outstanding, tenant-index order
 	inflight    sync.WaitGroup
 }
 
@@ -91,9 +93,26 @@ type Fleet struct {
 	nextID   int
 	closed   bool
 
+	// Tenant set, fixed at construction from the first replica config:
+	// every member must host the same tenants in the same order.
+	tenants  []TenantInfo
+	tenantly bool // the policy is tenant-aware (implements TenantPolicy)
+
+	// Per-tenant fleet-wide interference controls and accounting:
+	// tenantOut counts routed-but-unreturned queries per tenant across the
+	// whole fleet, tenantCap the admission ceiling on that count (0 =
+	// uncapped), and capShed the queries refused at the front door for
+	// exceeding it (they never reach a replica, so they appear in no
+	// replica ledger).
+	tenantOut []atomic.Int64
+	tenantCap []atomic.Int64
+	capShed   []atomic.Uint64
+
 	// Lifetime accounting for removed replicas, folded into Stats so the
 	// fleet's counters are monotone across membership changes.
-	retired live.Stats
+	// retiredTenants is the per-tenant breakdown of the same retirement.
+	retired        live.Stats
+	retiredTenants []live.Stats
 
 	// Front-door accounting: every query entering the fleet counts once
 	// here even when a replica failure makes it try two replicas, so the
@@ -125,7 +144,22 @@ func New(cfgs []live.Config, policy Policy) (*Fleet, error) {
 	if policy == nil {
 		policy = NewRoundRobin()
 	}
-	f := &Fleet{policy: policy}
+	infos, err := tenantInfosFrom(cfgs[0])
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		policy:         policy,
+		tenants:        infos,
+		tenantOut:      make([]atomic.Int64, len(infos)),
+		tenantCap:      make([]atomic.Int64, len(infos)),
+		capShed:        make([]atomic.Uint64, len(infos)),
+		retiredTenants: make([]live.Stats, len(infos)),
+	}
+	if tp, ok := policy.(TenantPolicy); ok {
+		tp.BindTenants(infos)
+		f.tenantly = true
+	}
 	for _, cfg := range cfgs {
 		if _, err := f.add(cfg); err != nil {
 			f.Close()
@@ -136,11 +170,81 @@ func New(cfgs []live.Config, policy Policy) (*Fleet, error) {
 	return f, nil
 }
 
-// add starts one replica and joins it to the routing set.
+// tenantInfosFrom derives the fleet's tenant set from one replica config:
+// names and shares straight from the tenant configs, resource shapes from
+// each tenant model's analytic profile. Shapes are normalized per dimension
+// across the tenant set, then per tenant to sum to 1, so [1, 0] reads
+// "all FC compute" and [0, 1] "all embedding traffic" relative to the
+// fleet's own zoo.
+func tenantInfosFrom(cfg live.Config) ([]TenantInfo, error) {
+	type raw struct {
+		name  string
+		share float64
+		flops float64
+		bytes float64
+	}
+	var raws []raw
+	if len(cfg.Tenants) == 0 {
+		if cfg.Model == nil {
+			return nil, errors.New("fleet: replica config has no model")
+		}
+		p := model.BuildProfile(cfg.Model.Cfg)
+		raws = []raw{{share: 1, flops: float64(p.TotalFLOPs()), bytes: float64(p.EmbBytes)}}
+	} else {
+		for i, tc := range cfg.Tenants {
+			if tc.Model == nil {
+				return nil, fmt.Errorf("fleet: tenant %d (%s) has no model", i, tc.Name)
+			}
+			share := tc.Share
+			if share == 0 {
+				share = 1
+			}
+			p := model.BuildProfile(tc.Model.Cfg)
+			raws = append(raws, raw{name: tc.Name, share: share, flops: float64(p.TotalFLOPs()), bytes: float64(p.EmbBytes)})
+		}
+	}
+	var maxFLOPs, maxBytes float64
+	for _, r := range raws {
+		if r.flops > maxFLOPs {
+			maxFLOPs = r.flops
+		}
+		if r.bytes > maxBytes {
+			maxBytes = r.bytes
+		}
+	}
+	infos := make([]TenantInfo, len(raws))
+	for i, r := range raws {
+		var f, b float64
+		if maxFLOPs > 0 {
+			f = r.flops / maxFLOPs
+		}
+		if maxBytes > 0 {
+			b = r.bytes / maxBytes
+		}
+		if sum := f + b; sum > 0 {
+			f, b = f/sum, b/sum
+		}
+		infos[i] = TenantInfo{Name: r.name, Share: r.share, Shape: [2]float64{f, b}}
+	}
+	return infos, nil
+}
+
+// add starts one replica and joins it to the routing set. Every member
+// must host the fleet's tenant set: same count, same names, same order.
 func (f *Fleet) add(cfg live.Config) (int, error) {
 	svc, err := live.New(cfg)
 	if err != nil {
 		return 0, err
+	}
+	if svc.TenantCount() != len(f.tenants) {
+		svc.Close()
+		return 0, fmt.Errorf("fleet: replica hosts %d tenants, fleet has %d", svc.TenantCount(), len(f.tenants))
+	}
+	for i := range f.tenants {
+		if svc.TenantName(i) != f.tenants[i].Name {
+			svc.Close()
+			return 0, fmt.Errorf("fleet: replica tenant %d is %q, fleet has %q", i, svc.TenantName(i), f.tenants[i].Name)
+		}
 	}
 	f.mu.Lock()
 	if f.closed {
@@ -151,11 +255,12 @@ func (f *Fleet) add(cfg live.Config) (int, error) {
 	id := f.nextID
 	f.nextID++
 	f.replicas = append(f.replicas, &replica{
-		id:     id,
-		svc:    svc,
-		cfg:    cfg,
-		hasGPU: cfg.GPU != nil,
-		speed:  svc.Scale(),
+		id:        id,
+		svc:       svc,
+		cfg:       cfg,
+		hasGPU:    cfg.GPU != nil,
+		speed:     svc.Scale(),
+		tenantOut: make([]atomic.Int64, len(f.tenants)),
 	})
 	f.mu.Unlock()
 	return id, nil
@@ -202,7 +307,7 @@ func (f *Fleet) find(id int) *replica {
 // release both when the submission returns. Routing is health-checked:
 // replicas failed by fault injection are ejected from the candidate set, so
 // a crash diverts traffic instead of black-holing it.
-func (f *Fleet) route(size int) (*replica, error) {
+func (f *Fleet) route(tenant, size int) (*replica, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if f.closed {
@@ -219,12 +324,19 @@ func (f *Fleet) route(size int) (*replica, error) {
 		if !r.healthy() {
 			continue
 		}
-		cands = append(cands, Candidate{
+		c := Candidate{
 			ID:          r.id,
 			Outstanding: int(r.outstanding.Load()),
 			HasGPU:      r.hasGPU,
 			Speed:       r.speed,
-		})
+		}
+		if f.tenantly {
+			c.TenantOutstanding = make([]int, len(r.tenantOut))
+			for i := range r.tenantOut {
+				c.TenantOutstanding[i] = int(r.tenantOut[i].Load())
+			}
+		}
+		cands = append(cands, c)
 		routable = append(routable, r)
 	}
 	if len(routable) == 0 {
@@ -233,12 +345,19 @@ func (f *Fleet) route(size int) (*replica, error) {
 		}
 		return nil, ErrClosed
 	}
-	idx := f.policy.Pick(size, cands)
+	var idx int
+	if tp, ok := f.policy.(TenantPolicy); ok {
+		idx = tp.PickTenant(tenant, size, cands)
+	} else {
+		idx = f.policy.Pick(size, cands)
+	}
 	if idx < 0 || idx >= len(routable) {
 		idx = 0
 	}
 	r := routable[idx]
 	r.outstanding.Add(1)
+	r.tenantOut[tenant].Add(1)
+	f.tenantOut[tenant].Add(1)
 	r.inflight.Add(1)
 	return r, nil
 }
@@ -253,7 +372,19 @@ func (f *Fleet) route(size int) (*replica, error) {
 // routing steers the retry away from the dead replica. The front-door
 // counters record the query once regardless of how many replicas it tried.
 func (f *Fleet) Submit(ctx context.Context, q live.Query) (live.Reply, int, error) {
+	if q.Tenant < 0 || q.Tenant >= len(f.tenants) {
+		return live.Reply{}, -1, fmt.Errorf("fleet: tenant %d outside [0, %d]", q.Tenant, len(f.tenants)-1)
+	}
 	f.frontSubmitted.Add(1)
+	// Per-tenant fleet-wide outstanding cap: the interference guard that
+	// keeps one saturated tenant from occupying every execution slot the
+	// fleet has. Cap-shed queries are refused at the front door — they
+	// reach no replica, so they are counted here (CapShed) and nowhere
+	// else.
+	if limit := f.tenantCap[q.Tenant].Load(); limit > 0 && f.tenantOut[q.Tenant].Load() >= limit {
+		f.capShed[q.Tenant].Add(1)
+		return live.Reply{}, -1, live.ErrOverloaded
+	}
 	reply, id, err := f.submitOnce(ctx, q)
 	if err != nil && errors.Is(err, live.ErrReplicaDown) && f.retry.Load() && ctx.Err() == nil {
 		f.retried.Add(1)
@@ -264,14 +395,46 @@ func (f *Fleet) Submit(ctx context.Context, q live.Query) (live.Reply, int, erro
 
 // submitOnce is one routing + submission attempt.
 func (f *Fleet) submitOnce(ctx context.Context, q live.Query) (live.Reply, int, error) {
-	r, err := f.route(q.Candidates)
+	r, err := f.route(q.Tenant, q.Candidates)
 	if err != nil {
 		return live.Reply{}, -1, err
 	}
 	defer r.inflight.Done()
 	defer r.outstanding.Add(-1)
+	defer r.tenantOut[q.Tenant].Add(-1)
+	defer f.tenantOut[q.Tenant].Add(-1)
 	reply, err := r.svc.Submit(ctx, q)
 	return reply, r.id, err
+}
+
+// SetTenantCap bounds one tenant's fleet-wide outstanding work: once the
+// tenant has max routed-but-unreturned queries in flight, further arrivals
+// are refused with live.ErrOverloaded at the front door (0 restores
+// uncapped). This is the fleet-level interference control — coarser than
+// per-replica admission gates, it bounds what the tenant may occupy of the
+// shared pool as a whole.
+func (f *Fleet) SetTenantCap(tenant, max int) error {
+	if tenant < 0 || tenant >= len(f.tenants) {
+		return fmt.Errorf("fleet: tenant %d outside [0, %d]", tenant, len(f.tenants)-1)
+	}
+	if max < 0 {
+		return fmt.Errorf("fleet: negative tenant cap %d", max)
+	}
+	f.tenantCap[tenant].Store(int64(max))
+	return nil
+}
+
+// TenantCount returns the number of tenants the fleet serves.
+func (f *Fleet) TenantCount() int { return len(f.tenants) }
+
+// TenantIndex maps a tenant name to its index in tenant order.
+func (f *Fleet) TenantIndex(name string) (int, bool) {
+	for i, ti := range f.tenants {
+		if ti.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // SetRetry enables or disables the fleet's one-retry-on-crash behavior.
@@ -330,27 +493,10 @@ func (f *Fleet) Remove(id int) error {
 	err := r.svc.Close()
 
 	f.mu.Lock()
-	st := r.svc.Stats()
-	f.retired.Submitted += st.Submitted
-	f.retired.Completed += st.Completed
-	f.retired.Cancelled += st.Cancelled
-	f.retired.GPUQueries += st.GPUQueries
-	f.retired.Retunes += st.Retunes
-	f.retired.WorkItems += st.WorkItems
-	f.retired.GPUItems += st.GPUItems
-	f.retired.Shed += st.Shed
-	f.retired.Evicted += st.Evicted
-	f.retired.ShedDeadline += st.ShedDeadline
-	f.retired.Abandoned += st.Abandoned
-	f.retired.Failed += st.Failed
-	f.retired.Truncated += st.Truncated
-	f.retired.FallbackServed += st.FallbackServed
-	f.retired.DegradeSteps += st.DegradeSteps
-	f.retired.EmbStore = f.retired.EmbStore || st.EmbStore
-	f.retired.EmbHits += st.EmbHits
-	f.retired.EmbMisses += st.EmbMisses
-	f.retired.EmbEvictions += st.EmbEvictions
-	f.retired.EmbBytesRead += st.EmbBytesRead
+	f.retired = f.retired.Accumulate(r.svc.Stats())
+	for ti := range f.retiredTenants {
+		f.retiredTenants[ti] = f.retiredTenants[ti].Accumulate(r.svc.TenantStats(ti))
+	}
 	for i, cur := range f.replicas {
 		if cur == r {
 			f.replicas = append(f.replicas[:i], f.replicas[i+1:]...)
@@ -448,6 +594,31 @@ type ReplicaStats struct {
 	live.Stats
 }
 
+// TenantStats is one tenant's fleet-merged slice of the snapshot: counters
+// summed over every current member plus the tenant's share of removed
+// replicas, percentiles over the union of the members' per-tenant latency
+// windows, and knob/SLA fields from the first member (per-replica AutoTune
+// may diverge knobs; Replicas carries each replica's own).
+type TenantStats struct {
+	// Name is the tenant's name; Share its configured traffic weight.
+	Name  string
+	Share float64
+	// Shape is the tenant's normalized resource-demand vector (FC-FLOP
+	// share, embedding-byte share) — what shape-aware placement keys on.
+	Shape [2]float64
+	// Outstanding is the tenant's fleet-wide routed-but-unreturned count;
+	// Cap the configured ceiling on it (0 = uncapped); CapShed the
+	// lifetime count of queries refused at the front door for exceeding
+	// it. CapShed queries reached no replica, so they are not in the
+	// merged Stats below: tenant conservation at the fleet level is
+	// FrontSubmitted(t) == Stats.Submitted + CapShed (+ routing errors).
+	Outstanding int
+	Cap         int
+	CapShed     uint64
+	// Stats is the tenant's merged online snapshot.
+	live.Stats
+}
+
 // Stats is a fleet-wide online snapshot.
 type Stats struct {
 	// Policy is the routing policy's name.
@@ -503,6 +674,9 @@ type Stats struct {
 	Healthy int
 	// Replicas holds the per-replica snapshots in ID order.
 	Replicas []ReplicaStats
+	// Tenants holds the per-tenant fleet-merged snapshots in tenant order
+	// (one entry, name "", on a single-model fleet).
+	Tenants []TenantStats
 }
 
 // MeetsSLA reports whether the fleet-wide p95 is within the target.
@@ -597,6 +771,50 @@ func (f *Fleet) Stats() Stats {
 		st.WindowLen = len(merged)
 		st.P50 = time.Duration(stats.Percentile(merged, 50) * float64(time.Second))
 		st.P95 = time.Duration(stats.Percentile(merged, 95) * float64(time.Second))
+	}
+	st.Tenants = make([]TenantStats, len(f.tenants))
+	for ti := range f.tenants {
+		ts := TenantStats{
+			Name:        f.tenants[ti].Name,
+			Share:       f.tenants[ti].Share,
+			Shape:       f.tenants[ti].Shape,
+			Outstanding: int(f.tenantOut[ti].Load()),
+			Cap:         int(f.tenantCap[ti].Load()),
+			CapShed:     f.capShed[ti].Load(),
+		}
+		agg := f.retiredTenants[ti]
+		var tmerged []float64
+		for ri, r := range f.replicas {
+			rs := r.svc.TenantStats(ti)
+			if ri == 0 {
+				// Identity/knob fields come from the first member; the
+				// counter fold below re-adds its counters.
+				agg.Tenant, agg.Share = rs.Tenant, rs.Share
+				agg.BatchSize, agg.GPUThreshold = rs.BatchSize, rs.GPUThreshold
+				agg.SLA, agg.DegradeLevel = rs.SLA, rs.DegradeLevel
+			}
+			agg = agg.Accumulate(rs)
+			agg.Queued += rs.Queued // gauge: Accumulate folds lifetime counters only
+			tmerged = append(tmerged, r.svc.TenantLatencySnapshot(ti)...)
+		}
+		agg.WindowLen = len(tmerged)
+		agg.P50, agg.P95 = 0, 0
+		if len(tmerged) > 0 {
+			agg.P50 = time.Duration(stats.Percentile(tmerged, 50) * float64(time.Second))
+			agg.P95 = time.Duration(stats.Percentile(tmerged, 95) * float64(time.Second))
+		}
+		agg.GPUQueryShare, agg.GPUWorkShare, agg.EmbHitRate = 0, 0, 0
+		if agg.Submitted > 0 {
+			agg.GPUQueryShare = float64(agg.GPUQueries) / float64(agg.Submitted)
+		}
+		if agg.WorkItems > 0 {
+			agg.GPUWorkShare = float64(agg.GPUItems) / float64(agg.WorkItems)
+		}
+		if lookups := agg.EmbHits + agg.EmbMisses; lookups > 0 {
+			agg.EmbHitRate = float64(agg.EmbHits) / float64(lookups)
+		}
+		ts.Stats = agg
+		st.Tenants[ti] = ts
 	}
 	return st
 }

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
 )
 
 // Candidate describes one routable replica at pick time: the information a
@@ -18,6 +20,10 @@ type Candidate struct {
 	Outstanding int
 	HasGPU      bool
 	Speed       float64
+	// TenantOutstanding is the per-tenant breakdown of Outstanding, in
+	// tenant-index order. The fleet fills it only when the routing policy
+	// is tenant-aware (implements TenantPolicy); it is nil otherwise.
+	TenantOutstanding []int
 }
 
 // Policy routes queries to replicas. Pick returns the index into candidates
@@ -32,6 +38,35 @@ type Policy interface {
 	// candidates holds every routable (non-draining) replica in ID order.
 	// An out-of-range return is clamped by the fleet.
 	Pick(size int, candidates []Candidate) int
+}
+
+// TenantInfo describes one tenant to tenant-aware placement policies.
+type TenantInfo struct {
+	// Name is the tenant's name ("" for the single-model degenerate case).
+	Name string
+	// Share is the tenant's relative traffic weight.
+	Share float64
+	// Shape is the tenant's normalized resource-demand vector, summing to
+	// 1: Shape[0] is the FC-FLOP share, Shape[1] the embedding-byte share.
+	// An FC-heavy model (WnD, NCF) sits near [1, 0]; an
+	// embedding-dominated one (DLRM-RMC1) near [0, 1].
+	Shape [2]float64
+}
+
+// TenantPolicy is a routing policy that places queries per tenant: the
+// fleet binds the tenant set once at construction and then routes through
+// PickTenant, giving the policy each candidate's per-tenant outstanding
+// breakdown. Policies that also implement plain Pick stay usable on
+// single-tenant fleets.
+type TenantPolicy interface {
+	Policy
+	// BindTenants hands the policy the fleet's tenant set, in tenant-index
+	// order. Called once before any PickTenant call.
+	BindTenants(infos []TenantInfo)
+	// PickTenant selects the serving replica for a query of `size` items
+	// belonging to the given tenant index. candidates carry
+	// TenantOutstanding. An out-of-range return is clamped by the fleet.
+	PickTenant(tenant, size int, candidates []Candidate) int
 }
 
 // RoundRobin cycles through the routable replicas in order, ignoring query
@@ -142,6 +177,129 @@ func (p SizeAware) Pick(size int, candidates []Candidate) int {
 	return leastLoaded(candidates, func(Candidate) bool { return true })
 }
 
+// TenantPartition reserves a share-proportional slice of the fleet for each
+// tenant: the candidate list (ID order) is cut into contiguous partitions
+// sized by tenant Share, and a tenant's queries go to the least-loaded
+// replica of its own partition. Interference isolation by construction — an
+// FC-heavy tenant saturating its partition cannot queue work on an
+// embedding-heavy tenant's replicas — at the cost of bin-packing
+// efficiency: a tenant's idle partition capacity is not lent out. When a
+// tenant's partition is empty (more tenants than replicas), its queries
+// fall back to least-loaded over the whole fleet.
+type TenantPartition struct {
+	infos []TenantInfo
+	cum   []float64 // cumulative share fractions, one entry per tenant
+}
+
+// NewTenantPartition returns a share-proportional partition policy.
+func NewTenantPartition() *TenantPartition { return &TenantPartition{} }
+
+// Name implements Policy.
+func (p *TenantPartition) Name() string { return "tenant-partition" }
+
+// BindTenants implements TenantPolicy.
+func (p *TenantPartition) BindTenants(infos []TenantInfo) {
+	p.infos = infos
+	total := 0.0
+	for _, ti := range infos {
+		total += ti.Share
+	}
+	if total <= 0 {
+		total = float64(len(infos))
+	}
+	p.cum = make([]float64, len(infos))
+	run := 0.0
+	for i, ti := range infos {
+		share := ti.Share
+		if share <= 0 {
+			share = 1
+		}
+		run += share / total
+		p.cum[i] = run
+	}
+}
+
+// Pick implements Policy (the single-tenant fallback): least-loaded.
+func (p *TenantPartition) Pick(size int, candidates []Candidate) int {
+	return leastLoaded(candidates, func(Candidate) bool { return true })
+}
+
+// PickTenant implements TenantPolicy.
+func (p *TenantPartition) PickTenant(tenant, size int, candidates []Candidate) int {
+	if tenant < 0 || tenant >= len(p.cum) {
+		return p.Pick(size, candidates)
+	}
+	n := len(candidates)
+	lo := 0
+	if tenant > 0 {
+		lo = int(p.cum[tenant-1]*float64(n) + 0.5)
+	}
+	hi := int(p.cum[tenant]*float64(n) + 0.5)
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		// Empty partition (more tenants than replicas): share the fleet.
+		return p.Pick(size, candidates)
+	}
+	return lo + leastLoaded(candidates[lo:hi], func(Candidate) bool { return true })
+}
+
+// ShapeSpread places by resource-shape interference: each candidate's
+// outstanding work is projected onto the tenants' demand vectors
+// (FC-FLOP share vs embedding-byte share), and the incoming query goes to
+// the replica where work of its own shape is scarcest — the dot product of
+// the replica's load vector with the tenant's shape. Same-shaped tenants
+// spread apart while complementary shapes co-locate, so an FC-heavy tenant
+// and an embedding-dominated one pack onto shared replicas without
+// contending for the same resource — the paper's observation that the zoo's
+// diversity is a placement opportunity, made a policy. Ties break toward
+// fewer outstanding queries, then the lower ID.
+type ShapeSpread struct {
+	infos []TenantInfo
+}
+
+// NewShapeSpread returns the interference-aware placement policy.
+func NewShapeSpread() *ShapeSpread { return &ShapeSpread{} }
+
+// Name implements Policy.
+func (p *ShapeSpread) Name() string { return "shape-spread" }
+
+// BindTenants implements TenantPolicy.
+func (p *ShapeSpread) BindTenants(infos []TenantInfo) { p.infos = infos }
+
+// Pick implements Policy (the single-tenant fallback): least-loaded.
+func (p *ShapeSpread) Pick(size int, candidates []Candidate) int {
+	return leastLoaded(candidates, func(Candidate) bool { return true })
+}
+
+// PickTenant implements TenantPolicy.
+func (p *ShapeSpread) PickTenant(tenant, size int, candidates []Candidate) int {
+	if tenant < 0 || tenant >= len(p.infos) {
+		return p.Pick(size, candidates)
+	}
+	shape := p.infos[tenant].Shape
+	best := -1
+	bestCost := 0.0
+	for i, c := range candidates {
+		var load [2]float64
+		for ti, out := range c.TenantOutstanding {
+			if ti < len(p.infos) {
+				load[0] += float64(out) * p.infos[ti].Shape[0]
+				load[1] += float64(out) * p.infos[ti].Shape[1]
+			}
+		}
+		cost := load[0]*shape[0] + load[1]*shape[1]
+		switch {
+		case best < 0 || cost < bestCost:
+			best, bestCost = i, cost
+		case cost == bestCost && c.Outstanding < candidates[best].Outstanding:
+			best = i
+		}
+	}
+	return best
+}
+
 // ParsePolicy parses a routing-policy spec as accepted by
 // `deeprecsys serve -policy`:
 //
@@ -149,6 +307,8 @@ func (p SizeAware) Pick(size int, candidates []Candidate) int {
 //	least-loaded           fewest outstanding queries wins
 //	size-aware[:<n>]       queries >= n items steer to GPU-capable
 //	                       replicas (default n = DefaultSizeThreshold)
+//	tenant-partition       share-proportional replica partitions per tenant
+//	shape-spread           interference-aware placement by resource shape
 func ParsePolicy(spec string) (Policy, error) {
 	name, arg, hasArg := strings.Cut(spec, ":")
 	switch name {
@@ -171,7 +331,18 @@ func ParsePolicy(spec string) (Policy, error) {
 			return nil, fmt.Errorf("fleet: size-aware threshold %q must be a positive integer", arg)
 		}
 		return NewSizeAware(thr), nil
+	case "tenant-partition":
+		if hasArg {
+			return nil, fmt.Errorf("fleet: tenant-partition takes no parameter (got %q)", spec)
+		}
+		return NewTenantPartition(), nil
+	case "shape-spread":
+		if hasArg {
+			return nil, fmt.Errorf("fleet: shape-spread takes no parameter (got %q)", spec)
+		}
+		return NewShapeSpread(), nil
 	default:
-		return nil, fmt.Errorf("fleet: unknown routing policy %q (have round-robin, least-loaded, size-aware[:<n>])", spec)
+		return nil, workload.UnknownSpec("fleet", "routing policy", spec,
+			"round-robin", "least-loaded", "size-aware[:<n>]", "tenant-partition", "shape-spread")
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
 )
 
 // ErrOverloaded is returned by Submit when admission control sheds the
@@ -114,7 +116,7 @@ func ParseAdmission(spec string) (AdmissionConfig, error) {
 		}
 		return cfg, nil
 	default:
-		return AdmissionConfig{}, fmt.Errorf("live: unknown admission policy %q (have none, reject, queue:<depth>, shed-oldest[:<depth>])", spec)
+		return AdmissionConfig{}, workload.UnknownSpec("live", "admission policy", spec, "none", "reject", "queue:<depth>", "shed-oldest[:<depth>]")
 	}
 }
 

@@ -23,7 +23,7 @@ const (
 	offThreshold = workload.MaxQuerySize + 1
 )
 
-// controller is the online analogue of DeepRecSched's two-knob hill climb
+// controllerFor is the online analogue of DeepRecSched's two-knob hill climb
 // (paper Section IV): instead of probing candidate operating points against
 // a capacity-search oracle, it walks the same power-of-two ladders — the
 // per-request batch size and, when the accelerator lane is present, the
@@ -39,29 +39,35 @@ const (
 // change. After every move the window is reset and one interval is skipped
 // so the next decision reads only samples produced at the new operating
 // point — the same settle/reset discipline as the single-knob controller.
-func (s *Service) controller() {
-	defer close(s.ctrlDone)
+//
+// On a multi-tenant service one controller runs per AutoTune tenant,
+// walking that tenant's own knobs against that tenant's own measured p95;
+// the lanes are shared, so a tenant's controller observes its neighbors
+// only through its own tail (the interference channel tenant-aware fleet
+// placement exists to manage).
+func (s *Service) controllerFor(t *tenant) {
+	defer s.bgWG.Done()
 	ticker := time.NewTicker(s.cfg.TuneInterval)
 	defer ticker.Stop()
-	slaSec := s.cfg.SLA.Seconds()
+	slaSec := t.sla.Seconds()
 	settling := false
 	moveBatch := true // batch is the paper's primary knob; start there
 	for {
 		select {
-		case <-s.ctrlStop:
+		case <-s.bgStop:
 			return
 		case <-ticker.C:
 		}
 		if settling {
 			// The window now holds only post-change samples; measure next tick.
 			settling = false
-			s.win.Reset()
+			t.win.Reset()
 			continue
 		}
-		if s.win.Len() < minTuneSamples {
+		if t.win.Len() < minTuneSamples {
 			continue
 		}
-		p95 := s.win.Percentile(95)
+		p95 := t.win.Percentile(95)
 		var dir int
 		switch {
 		case p95 > slaSec:
@@ -76,17 +82,17 @@ func (s *Service) controller() {
 		moved := false
 		for try := 0; try < 2 && !moved; try++ {
 			if moveBatch || s.acc == nil {
-				moved = s.stepBatch(dir)
+				moved = s.stepBatch(t, dir)
 			} else {
-				moved = s.stepThreshold(dir)
+				moved = s.stepThreshold(t, dir)
 			}
 			if s.acc != nil {
 				moveBatch = !moveBatch
 			}
 		}
 		if moved {
-			s.retunes.Add(1)
-			s.win.Reset()
+			t.retunes.Add(1)
+			t.win.Reset()
 			settling = true
 		}
 	}
@@ -95,8 +101,8 @@ func (s *Service) controller() {
 // stepBatch walks the batch-size knob one power-of-two rung: down for
 // request-level parallelism when the tail breached, up for batch efficiency
 // under headroom. It reports whether the knob moved.
-func (s *Service) stepBatch(dir int) bool {
-	cur := int(s.batch.Load())
+func (s *Service) stepBatch(t *tenant, dir int) bool {
+	cur := int(t.batch.Load())
 	next := cur
 	switch {
 	case dir < 0 && cur > 1:
@@ -110,7 +116,7 @@ func (s *Service) stepBatch(dir int) bool {
 	if next == cur {
 		return false
 	}
-	s.batch.Store(int64(next))
+	t.batch.Store(int64(next))
 	return true
 }
 
@@ -123,8 +129,8 @@ func (s *Service) stepBatch(dir int) bool {
 // reclaims the tail, walking toward "no offload" exactly as the paper's
 // climb raises the threshold while throughput holds. It reports whether the
 // knob moved. Callers guarantee the accelerator lane is present.
-func (s *Service) stepThreshold(dir int) bool {
-	cur := int(s.thresh.Load())
+func (s *Service) stepThreshold(t *tenant, dir int) bool {
+	cur := int(t.thresh.Load())
 	if cur == 0 {
 		cur = offThreshold
 	}
@@ -147,6 +153,6 @@ func (s *Service) stepThreshold(dir int) bool {
 	if next >= offThreshold {
 		next = 0 // off: no query can reach it
 	}
-	s.thresh.Store(int64(next))
+	t.thresh.Store(int64(next))
 	return true
 }

@@ -68,60 +68,69 @@ type degradeRung struct {
 // window — is the reliable signal). The step-down signal is restored
 // headroom: p95 under headroomFrac of the SLA with no shedding in the
 // interval.
-func (s *Service) degrader() {
-	defer close(s.degDone)
+//
+// On a multi-tenant service one degrader runs per eligible tenant (ladder
+// configured and SLA set), walking that tenant's own ladder against that
+// tenant's own tail and shed counters: one tenant can be deep in fallback
+// while its neighbors serve full slates.
+func (s *Service) degraderFor(t *tenant) {
+	defer s.bgWG.Done()
 	ticker := time.NewTicker(s.cfg.TuneInterval)
 	defer ticker.Stop()
-	slaSec := s.cfg.SLA.Seconds()
+	slaSec := t.sla.Seconds()
 	settling := false
-	lastShed := s.shed.Load() + s.shedDeadline.Load()
+	lastShed := t.shed.Load() + t.shedDeadline.Load()
 	for {
 		select {
-		case <-s.degStop:
+		case <-s.bgStop:
 			return
 		case <-ticker.C:
 		}
-		shedNow := s.shed.Load() + s.shedDeadline.Load()
+		shedNow := t.shed.Load() + t.shedDeadline.Load()
 		shedDelta := shedNow - lastShed
 		lastShed = shedNow
 		if settling {
 			settling = false
-			s.win.Reset()
+			t.win.Reset()
 			continue
 		}
-		p95 := s.win.Percentile(95)
-		enough := s.win.Len() >= minTuneSamples
-		lvl := int(s.degLevel.Load())
+		p95 := t.win.Percentile(95)
+		enough := t.win.Len() >= minTuneSamples
+		lvl := int(t.degLevel.Load())
 		switch {
 		case shedDelta > 0 || (enough && p95 > slaSec):
-			if lvl+1 < len(s.degLadder) {
-				s.degLevel.Store(int32(lvl + 1))
-				s.degradeSteps.Add(1)
-				s.win.Reset()
+			if lvl+1 < len(t.degLadder) {
+				t.degLevel.Store(int32(lvl + 1))
+				t.degradeSteps.Add(1)
+				t.win.Reset()
 				settling = true
 			}
 		case enough && p95 < headroomFrac*slaSec && shedDelta == 0:
 			if lvl > 0 {
-				s.degLevel.Store(int32(lvl - 1))
-				s.degradeSteps.Add(1)
-				s.win.Reset()
+				t.degLevel.Store(int32(lvl - 1))
+				t.degradeSteps.Add(1)
+				t.win.Reset()
 				settling = true
 			}
 		}
 	}
 }
 
-// DegradeLevel returns the current degrade level (0 = full service).
-func (s *Service) DegradeLevel() int { return int(s.degLevel.Load()) }
+// DegradeLevel returns tenant 0's current degrade level (0 = full service).
+func (s *Service) DegradeLevel() int { return int(s.tenants[0].degLevel.Load()) }
 
-// SetDegradeLevel pins the degrade level manually (the counterpart of the
-// SLA-aware controller, which may move it again when enabled). Levels
-// index the configured ladder: 0 is full service, len(ladder)-1 the
+// SetDegradeLevel pins tenant 0's degrade level manually (the counterpart
+// of the SLA-aware controller, which may move it again when enabled).
+// Levels index the configured ladder: 0 is full service, len(ladder)-1 the
 // deepest configured degradation.
-func (s *Service) SetDegradeLevel(level int) error {
-	if level < 0 || level >= len(s.degLadder) {
-		return fmt.Errorf("live: degrade level %d outside [0, %d]", level, len(s.degLadder)-1)
+func (s *Service) SetDegradeLevel(level int) error { return s.SetTenantDegradeLevel(0, level) }
+
+// SetTenantDegradeLevel pins one tenant's degrade level manually.
+func (s *Service) SetTenantDegradeLevel(tenant, level int) error {
+	t := s.tenants[tenant]
+	if level < 0 || level >= len(t.degLadder) {
+		return fmt.Errorf("live: degrade level %d outside [0, %d]", level, len(t.degLadder)-1)
 	}
-	s.degLevel.Store(int32(level))
+	t.degLevel.Store(int32(level))
 	return nil
 }

@@ -68,27 +68,29 @@ type Executor interface {
 }
 
 // cpuPool is the CPU lane: a fixed worker pool executing batch-sized chunks
-// of each query as real model forward passes. The per-request batch size is
-// read per query from the service's shared knob, so controller retunes take
-// effect on the next submission.
+// of each query as real model forward passes. The lane is shared by every
+// tenant; the per-request batch size is read per query from the serving
+// tenant's live knob, so controller retunes take effect on the next
+// submission.
 //
 // Each worker owns its model.Scratch (plus intraOp-1 more when intra-query
 // splitting is enabled), so steady-state forward passes allocate nothing;
 // scratches are never shared across workers — the race-enabled live tests
-// pin that ownership rule.
+// pin that ownership rule. Scratches are model-agnostic (NewInputInto
+// re-derives shapes per call), so the one scratch set serves every tenant's
+// model — the "multiple per-tenant model scratch sets behind one lane pair"
+// is one arena re-shaped per chunk, not N arenas.
 type cpuPool struct {
-	model   *model.Model
-	batch   *atomic.Int64      // the service's live batch-size knob
-	scale   *atomicScale       // live service-time stretch; the CPU lane only slows (>= 1 effective)
-	intraOp int                // goroutines a big chunk's forward pass may fan out to
-	access  workload.IndexDist // sparse-row popularity; nil = uniform fast path
+	tenants []*tenant
+	scale   *atomicScale // live service-time stretch; the CPU lane only slows (>= 1 effective)
+	intraOp int          // goroutines a big chunk's forward pass may fan out to
 	tasks   chan chunk
 	wg      sync.WaitGroup
 }
 
 // newCPUPool starts the worker pool.
-func newCPUPool(m *model.Model, batch *atomic.Int64, workers, queueDepth int, seed int64, scale *atomicScale, intraOp int, access workload.IndexDist) *cpuPool {
-	p := &cpuPool{model: m, batch: batch, scale: scale, intraOp: intraOp, access: access, tasks: make(chan chunk, queueDepth)}
+func newCPUPool(tenants []*tenant, workers, queueDepth int, seed int64, scale *atomicScale, intraOp int) *cpuPool {
+	p := &cpuPool{tenants: tenants, scale: scale, intraOp: intraOp, tasks: make(chan chunk, queueDepth)}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go p.worker(rand.New(rand.NewSource(seed + int64(w))))
@@ -105,22 +107,31 @@ func (p *cpuPool) worker(rng *rand.Rand) {
 	for i := range scratches {
 		scratches[i] = model.NewScratch()
 	}
-	sampler := newIndexSampler(p.access, rng)
+	// One sampler per tenant, all bound to this worker's rng: each tenant
+	// keeps its own access distribution while the worker's draw sequence
+	// stays deterministic under Seed. A tenant with uniform access has a
+	// nil sampler (the legacy rng.Intn fast path).
+	samplers := make([]*indexSampler, len(p.tenants))
+	for i, t := range p.tenants {
+		samplers[i] = newIndexSampler(t.access, rng)
+	}
 	for c := range p.tasks {
 		if c.q.skip.Load() {
 			c.q.retire()
 			continue
 		}
-		// The chunk executes its query's model — the fallback variant under
-		// deep degradation, the service model otherwise. Scratches are
-		// model-agnostic (NewInputInto re-derives shapes per call), so one
-		// worker can alternate freely between variants.
+		// The chunk executes its query's model — the serving tenant's, or
+		// its fallback variant under deep degradation.
+		t := c.q.tn
+		if t == nil {
+			t = p.tenants[0]
+		}
 		m := c.q.m
 		if m == nil {
-			m = p.model
+			m = t.model
 		}
 		start := time.Now()
-		in := m.NewInputSampled(scratches[0], rng, c.size, sampler.source(m))
+		in := m.NewInputSampled(scratches[0], rng, c.size, samplers[t.idx].source(m))
 		// With IntraOp > 1, big-batch chunks split across the par pool for
 		// intra-query parallelism (bit-identical results).
 		out := m.ForwardMaybeSplit(scratches, in)
@@ -150,7 +161,11 @@ func (p *cpuPool) worker(rng *rand.Rand) {
 // Enqueue implements Executor: the query is split into batch-sized chunks
 // pushed onto the bounded task queue.
 func (p *cpuPool) Enqueue(ctx context.Context, iq *inflight, size int) error {
-	batch := int(p.batch.Load())
+	t := iq.tn
+	if t == nil {
+		t = p.tenants[0]
+	}
+	batch := int(t.batch.Load())
 	iq.batch = batch
 	nChunks := (size + batch - 1) / batch
 	iq.pending.Store(int32(nChunks))
@@ -191,30 +206,31 @@ func (p *cpuPool) Close() {
 // waiting on a stream slot, with Submit's completion wait providing the
 // backpressure.
 type accelerator struct {
-	model   *model.Model
+	tn      *tenant // default tenant (0): serves untagged queries
 	gpu     *platform.GPU
-	profile model.Profile
-	scale   *atomicScale       // live service-time stretch on the modeled device time
-	access  workload.IndexDist // sparse-row popularity for ranked offloads; nil = uniform
-	slots   chan struct{}      // one token per concurrent device stream
-	seq     atomic.Int64       // per-query seed stream for ranked offloads
+	profile model.Profile // tenant 0's profile; per-query time uses the serving tenant's
+	scale   *atomicScale  // live service-time stretch on the modeled device time
+	slots   chan struct{} // one token per concurrent device stream
+	seq     atomic.Int64  // per-query seed stream for ranked offloads
 	seed    int64
 	scratch sync.Pool // *model.Scratch for ranked offloads (one per active stream)
 	wg      sync.WaitGroup
 }
 
-// newAccelerator builds the lane for one device model.
-func newAccelerator(m *model.Model, gpu *platform.GPU, seed int64, scale *atomicScale, access workload.IndexDist) *accelerator {
+// newAccelerator builds the lane, shared by every tenant. The modeled
+// service time of each query is computed from the serving tenant's own
+// model profile, so an FC-heavy tenant and an embedding-heavy tenant
+// occupying the same device streams cost what their architectures cost.
+func newAccelerator(t *tenant, gpu *platform.GPU, seed int64, scale *atomicScale) *accelerator {
 	streams := gpu.Streams
 	if streams < 1 {
 		streams = 1
 	}
 	a := &accelerator{
-		model:   m,
+		tn:      t,
 		gpu:     gpu,
-		profile: model.BuildProfile(m.Cfg),
+		profile: t.profile,
 		scale:   scale,
-		access:  access,
 		slots:   make(chan struct{}, streams),
 		seed:    seed,
 	}
@@ -254,18 +270,22 @@ func (a *accelerator) run(iq *inflight, size int) {
 		iq.retire() // cancelled during the wait: consume no device time
 		return
 	}
-	service := time.Duration(float64(a.gpu.QueryTime(a.profile, size)) * a.scale.Load())
+	t := iq.tn
+	if t == nil {
+		t = a.tn
+	}
+	service := time.Duration(float64(a.gpu.QueryTime(t.profile, size)) * a.scale.Load())
 	start := time.Now()
 	if n := iq.topN; n > 0 {
 		m := iq.m
 		if m == nil {
-			m = a.model
+			m = t.model
 		}
 		rng := rand.New(rand.NewSource(a.seed + a.seq.Add(1)))
 		s := a.scratch.Get().(*model.Scratch)
 		// Ranked offloads bind one fresh source per query — the per-query
 		// rng is fresh too, so the draw sequence stays deterministic.
-		out := m.ForwardInto(s, m.NewInputSampled(s, rng, size, newIndexSampler(a.access, rng).source(m)))
+		out := m.ForwardInto(s, m.NewInputSampled(s, rng, size, newIndexSampler(t.access, rng).source(m)))
 		if n > size {
 			n = size
 		}

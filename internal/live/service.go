@@ -55,13 +55,21 @@ var ErrReplicaDown = errors.New("live: replica down")
 // paper's hill climb explores (up to 1024).
 const MaxBatchSize = 1024
 
-// Config parameterizes a Service. Model is required; every other field has
-// a working default.
+// Config parameterizes a Service. Model is required (unless Tenants is
+// set); every other field has a working default.
 type Config struct {
 	// Model executes the forward passes. It must not be mutated while the
 	// service runs; concurrent Forward calls are safe by construction
-	// (weights are read-only, outputs freshly allocated).
+	// (weights are read-only, outputs freshly allocated). When Tenants is
+	// set, Model is ignored: each tenant brings its own.
 	Model *model.Model
+	// Tenants runs the service multi-tenant: N named (model, SLA, knobs,
+	// ledger) bindings sharing this service's executor lanes. Empty keeps
+	// the classic single-model service, which behaves exactly as one
+	// anonymous tenant synthesized from the Config-level fields. When set,
+	// every tenant needs a unique non-empty Name and its own Model
+	// instance, and the Config-level fields act as tenant defaults.
+	Tenants []TenantConfig
 	// Workers is the CPU worker-pool size (default GOMAXPROCS).
 	Workers int
 	// BatchSize is the initial per-request batch size (default 256). The
@@ -135,8 +143,26 @@ type Config struct {
 // withDefaults returns cfg with defaults filled in, validating what cannot
 // be defaulted.
 func (cfg Config) withDefaults() (Config, error) {
-	if cfg.Model == nil {
+	multi := len(cfg.Tenants) > 0
+	if !multi && cfg.Model == nil {
 		return cfg, errors.New("live: Config.Model is required")
+	}
+	if multi {
+		names := make(map[string]bool, len(cfg.Tenants))
+		models := make(map[*model.Model]bool, len(cfg.Tenants))
+		for i, tc := range cfg.Tenants {
+			if tc.Name == "" {
+				return cfg, fmt.Errorf("live: tenant %d: Name is required", i)
+			}
+			if names[tc.Name] {
+				return cfg, fmt.Errorf("live: duplicate tenant name %q", tc.Name)
+			}
+			names[tc.Name] = true
+			if tc.Model != nil && models[tc.Model] {
+				return cfg, fmt.Errorf("live: tenant %d (%s): Model instance shared with another tenant", i, tc.Name)
+			}
+			models[tc.Model] = true
+		}
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -159,7 +185,7 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.SLA < 0 {
 		return cfg, fmt.Errorf("live: negative SLA %v", cfg.SLA)
 	}
-	if cfg.AutoTune && cfg.SLA == 0 {
+	if !multi && cfg.AutoTune && cfg.SLA == 0 {
 		return cfg, errors.New("live: AutoTune requires an SLA target")
 	}
 	if cfg.TuneInterval == 0 {
@@ -174,7 +200,7 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.WindowSize < 1 {
 		return cfg, fmt.Errorf("live: window size %d < 1", cfg.WindowSize)
 	}
-	if cfg.AutoTune && cfg.WindowSize < minTuneSamples {
+	if !multi && cfg.AutoTune && cfg.WindowSize < minTuneSamples {
 		return cfg, fmt.Errorf("live: AutoTune needs a window of at least %d samples, got %d", minTuneSamples, cfg.WindowSize)
 	}
 	if cfg.QueueDepth == 0 {
@@ -237,6 +263,10 @@ func (cfg Config) withDefaults() (Config, error) {
 type Query struct {
 	Candidates int
 	TopN       int
+	// Tenant selects which tenant serves the query, by index into
+	// Config.Tenants (TenantIndex maps names). The classic single-model
+	// service has exactly one tenant, index 0 — the zero value.
+	Tenant int
 }
 
 // Reply is the answer to one Query.
@@ -254,10 +284,20 @@ type Reply struct {
 	// deepest rung of the degrade ladder; slate truncation alone does not
 	// set it).
 	Degraded bool
+	// Tenant echoes the serving tenant's index (0 on the classic
+	// single-model service).
+	Tenant int
 }
 
-// Stats is an online snapshot of the service.
+// Stats is an online snapshot of the service (or, from TenantStats, of one
+// tenant's slice of it).
 type Stats struct {
+	// Tenant is the tenant's name in per-tenant snapshots ("" for the
+	// classic single-model service and for whole-service aggregates).
+	Tenant string
+	// Share is the tenant's configured relative traffic weight (0 in
+	// whole-service aggregates of a multi-tenant service).
+	Share float64
 	// Submitted / Completed / Cancelled are lifetime query counts.
 	Submitted uint64
 	Completed uint64
@@ -331,10 +371,39 @@ func (s Stats) MeetsSLA() bool {
 	return s.SLA > 0 && s.WindowLen > 0 && s.P95 <= s.SLA
 }
 
+// Accumulate returns s with b's lifetime counters added. Knobs, gauges,
+// percentiles, and derived ratios are left as s's — callers merging
+// snapshots (tenant aggregation, fleet counter folding across membership
+// churn) recompute those from the merged windows and counter sums.
+func (s Stats) Accumulate(b Stats) Stats {
+	s.Submitted += b.Submitted
+	s.Completed += b.Completed
+	s.Cancelled += b.Cancelled
+	s.GPUQueries += b.GPUQueries
+	s.WorkItems += b.WorkItems
+	s.GPUItems += b.GPUItems
+	s.Retunes += b.Retunes
+	s.Shed += b.Shed
+	s.Evicted += b.Evicted
+	s.ShedDeadline += b.ShedDeadline
+	s.Abandoned += b.Abandoned
+	s.DegradeSteps += b.DegradeSteps
+	s.Truncated += b.Truncated
+	s.FallbackServed += b.FallbackServed
+	s.Failed += b.Failed
+	s.EmbStore = s.EmbStore || b.EmbStore
+	s.EmbHits += b.EmbHits
+	s.EmbMisses += b.EmbMisses
+	s.EmbEvictions += b.EmbEvictions
+	s.EmbBytesRead += b.EmbBytesRead
+	return s
+}
+
 // inflight tracks one submitted query across its units of work: batch-sized
 // chunks on the CPU lane, a single whole-query request when offloaded.
 type inflight struct {
 	topN    int
+	tn      *tenant      // serving tenant: per-tenant knobs/samplers in the lanes
 	m       *model.Model // model serving this query (fallback under degrade)
 	batch   int          // execution granularity, set by the serving lane
 	pending atomic.Int32 // outstanding units; closing done at zero
@@ -362,21 +431,18 @@ type chunk struct {
 // Service is a live concurrent recommendation server. Create one with New,
 // submit queries from any number of goroutines, and Close it to drain.
 type Service struct {
-	cfg    Config
-	cpu    *cpuPool
-	acc    *accelerator // nil = CPU-only
-	batch  atomic.Int64
-	thresh atomic.Int64 // offload threshold; 0 = no offload
-	scale  atomicScale  // dynamic service-time stretch (chaos slowdowns)
-	delay  atomic.Int64 // injected per-query latency in ns (chaos spikes)
-	win    *stats.Window
+	cfg     Config
+	tenants []*tenant
+	byName  map[string]int // tenant name → index
+	cpu     *cpuPool
+	acc     *accelerator // nil = CPU-only
+	scale   atomicScale  // dynamic service-time stretch (chaos slowdowns)
+	delay   atomic.Int64 // injected per-query latency in ns (chaos spikes)
 
-	adm *admission // nil = admission control off
-
+	// adm and degLadder alias tenant 0's admission gate and degrade ladder:
+	// the classic single-model service is exactly its one anonymous tenant.
+	adm       *admission // nil = admission control off for tenant 0
 	degLadder []degradeRung
-	degLevel  atomic.Int32
-	degStop   chan struct{}
-	degDone   chan struct{}
 
 	failed atomic.Bool
 	failCh chan struct{} // closed by Fail: aborts waits promptly
@@ -385,28 +451,8 @@ type Service struct {
 	closed   bool
 	inFlight sync.WaitGroup // open Submit calls
 
-	ctrlStop chan struct{}
-	ctrlDone chan struct{}
-
-	submitted atomic.Uint64
-	completed atomic.Uint64
-	cancelled atomic.Uint64
-	retunes   atomic.Uint64
-
-	shed         atomic.Uint64 // overload sheds (ErrOverloaded), incl. evictions
-	evicted      atomic.Uint64 // shed-oldest victims (subset of shed)
-	shedDeadline atomic.Uint64 // shed pre-execution on an expired deadline
-	failedQ      atomic.Uint64 // queries aborted by Fail (ErrReplicaDown)
-	abandoned    atomic.Uint64 // queued-but-unstarted queries flushed at Close
-
-	truncated      atomic.Uint64 // queries served over a truncated slate
-	fallbackServed atomic.Uint64 // queries served by the fallback model
-	degradeSteps   atomic.Uint64 // degrade-level moves by the controller
-
-	gpuQueries atomic.Uint64
-	cpuQueries atomic.Uint64
-	gpuItems   atomic.Uint64
-	cpuItems   atomic.Uint64
+	bgStop chan struct{}  // stops per-tenant controllers and degraders
+	bgWG   sync.WaitGroup // one per running controller/degrader goroutine
 }
 
 // atomicScale is a lock-free float64 cell for the service-time scale
@@ -417,38 +463,56 @@ type atomicScale struct{ bits atomic.Uint64 }
 func (a *atomicScale) Store(f float64) { a.bits.Store(math.Float64bits(f)) }
 func (a *atomicScale) Load() float64   { return math.Float64frombits(a.bits.Load()) }
 
-// New starts the executor lanes (and the controller when configured) and
-// returns a running Service.
+// New starts the executor lanes (and the per-tenant controllers when
+// configured) and returns a running Service.
 func New(cfg Config) (*Service, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	tcs := cfg.Tenants
+	if len(tcs) == 0 {
+		// The classic single-model service is the 1-tenant degenerate case:
+		// one anonymous tenant inheriting every Config-level field.
+		tcs = []TenantConfig{{Model: cfg.Model}}
+	}
 	s := &Service{
-		cfg:       cfg,
-		win:       stats.NewWindow(cfg.WindowSize),
-		degLadder: cfg.Degrade.rungs(),
-		failCh:    make(chan struct{}),
+		cfg:     cfg,
+		tenants: make([]*tenant, len(tcs)),
+		byName:  make(map[string]int, len(tcs)),
+		failCh:  make(chan struct{}),
 	}
-	s.batch.Store(int64(cfg.BatchSize))
-	s.thresh.Store(int64(cfg.GPUThreshold))
+	for i, tc := range tcs {
+		tc, err := tc.withDefaults(cfg, i)
+		if err != nil {
+			return nil, err
+		}
+		s.tenants[i] = newTenant(i, tc)
+		s.byName[tc.Name] = i
+	}
+	s.adm = s.tenants[0].adm
+	s.degLadder = s.tenants[0].degLadder
 	s.scale.Store(cfg.Scale)
-	if cfg.Admission.Policy != AdmitAll {
-		s.adm = newAdmission(cfg.Admission)
-	}
-	s.cpu = newCPUPool(cfg.Model, &s.batch, cfg.Workers, cfg.QueueDepth, cfg.Seed, &s.scale, cfg.IntraOp, cfg.Access)
+	s.cpu = newCPUPool(s.tenants, cfg.Workers, cfg.QueueDepth, cfg.Seed, &s.scale, cfg.IntraOp)
 	if cfg.GPU != nil {
-		s.acc = newAccelerator(cfg.Model, cfg.GPU, cfg.Seed, &s.scale, cfg.Access)
+		s.acc = newAccelerator(s.tenants[0], cfg.GPU, cfg.Seed, &s.scale)
 	}
-	if cfg.AutoTune {
-		s.ctrlStop = make(chan struct{})
-		s.ctrlDone = make(chan struct{})
-		go s.controller()
+	for _, t := range s.tenants {
+		if t.autoTune || (len(t.degLadder) > 1 && t.sla > 0) {
+			if s.bgStop == nil {
+				s.bgStop = make(chan struct{})
+			}
+		}
 	}
-	if cfg.Degrade.enabled() && cfg.SLA > 0 {
-		s.degStop = make(chan struct{})
-		s.degDone = make(chan struct{})
-		go s.degrader()
+	for _, t := range s.tenants {
+		if t.autoTune {
+			s.bgWG.Add(1)
+			go s.controllerFor(t)
+		}
+		if len(t.degLadder) > 1 && t.sla > 0 {
+			s.bgWG.Add(1)
+			go s.degraderFor(t)
+		}
 	}
 	return s, nil
 }
@@ -474,6 +538,10 @@ func (s *Service) Submit(ctx context.Context, q Query) (Reply, error) {
 	if q.TopN < 0 {
 		return Reply{}, fmt.Errorf("live: negative TopN %d", q.TopN)
 	}
+	if q.Tenant < 0 || q.Tenant >= len(s.tenants) {
+		return Reply{}, fmt.Errorf("live: tenant %d outside [0, %d]", q.Tenant, len(s.tenants)-1)
+	}
+	t := s.tenants[q.Tenant]
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -482,98 +550,98 @@ func (s *Service) Submit(ctx context.Context, q Query) (Reply, error) {
 	s.inFlight.Add(1)
 	s.mu.Unlock()
 	defer s.inFlight.Done()
-	s.submitted.Add(1)
+	t.submitted.Add(1)
 	if s.failed.Load() {
-		s.failedQ.Add(1)
+		t.failedQ.Add(1)
 		return Reply{}, ErrReplicaDown
 	}
 
-	if s.cfg.Deadline > 0 {
+	if t.deadline > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		ctx, cancel = context.WithTimeout(ctx, t.deadline)
 		defer cancel()
 	}
 	// An already-dead context is shed before the query consumes an
 	// admission slot or a forward pass.
 	if err := ctx.Err(); err != nil {
-		s.countAborted(err)
+		t.countAborted(err)
 		return Reply{}, err
 	}
 
 	start := time.Now() // latency includes admission-queue wait
-	if s.adm != nil {
-		evicted, err := s.adm.admit(ctx)
+	if t.adm != nil {
+		evicted, err := t.adm.admit(ctx)
 		if evicted > 0 {
 			// Each victim's own Submit records the shed when its admit
 			// returns ErrOverloaded; here only the eviction is attributed.
-			s.evicted.Add(uint64(evicted))
+			t.evicted.Add(uint64(evicted))
 		}
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrOverloaded):
-				s.shed.Add(1)
+				t.shed.Add(1)
 			case errors.Is(err, ErrReplicaDown):
-				s.failedQ.Add(1)
+				t.failedQ.Add(1)
 			case errors.Is(err, ErrShutdown):
 				// Queued but never started when Close began; neither
 				// completed nor shed.
-				s.abandoned.Add(1)
+				t.abandoned.Add(1)
 			default:
 				// Deadline expiry or cancellation while queued: the query
 				// never reached a lane.
-				s.countAborted(err)
+				t.countAborted(err)
 			}
 			return Reply{}, err
 		}
-		defer s.adm.release()
+		defer t.adm.release()
 		if err := ctx.Err(); err != nil {
 			// The context died during the queue wait: shed before the
 			// forward pass.
-			s.countAborted(err)
+			t.countAborted(err)
 			return Reply{}, err
 		}
 	}
 
 	// Graceful degradation: truncate the slate and/or swap in the cheaper
-	// model per the current ladder level.
-	rung := s.degLadder[s.degLevel.Load()]
+	// model per the tenant's current ladder level.
+	rung := t.degLadder[t.degLevel.Load()]
 	candidates := q.Candidates
 	if rung.truncate > 0 && candidates > rung.truncate {
 		candidates = rung.truncate
-		s.truncated.Add(1)
+		t.truncated.Add(1)
 	}
-	m := s.cfg.Model
+	m := t.model
 	degraded := false
 	if rung.fallback {
-		m = s.cfg.Degrade.Fallback
+		m = t.fallback
 		degraded = true
-		s.fallbackServed.Add(1)
+		t.fallbackServed.Add(1)
 	}
 
-	iq := &inflight{topN: q.TopN, m: m, done: make(chan struct{})}
+	iq := &inflight{topN: q.TopN, tn: t, m: m, done: make(chan struct{})}
 	lane := Executor(s.cpu)
-	thr := int(s.thresh.Load())
+	thr := int(t.thresh.Load())
 	// Fallback-model queries stay on the CPU lane: degradation exists to
 	// shed compute, and the cheap variant no longer warrants the device.
 	offloaded := !degraded && s.acc != nil && thr > 0 && candidates >= thr
 	if offloaded {
 		lane = s.acc
-		s.gpuQueries.Add(1)
-		s.gpuItems.Add(uint64(candidates))
+		t.gpuQueries.Add(1)
+		t.gpuItems.Add(uint64(candidates))
 	} else {
-		s.cpuQueries.Add(1)
-		s.cpuItems.Add(uint64(candidates))
+		t.cpuQueries.Add(1)
+		t.cpuItems.Add(uint64(candidates))
 	}
 
 	if err := lane.Enqueue(ctx, iq, candidates); err != nil {
-		s.cancelled.Add(1)
+		t.cancelled.Add(1)
 		return Reply{}, err
 	}
 	if err := s.awaitQuery(ctx, iq); err != nil {
 		if errors.Is(err, ErrReplicaDown) {
-			s.failedQ.Add(1)
+			t.failedQ.Add(1)
 		} else {
-			s.cancelled.Add(1)
+			t.cancelled.Add(1)
 		}
 		return Reply{}, err
 	}
@@ -582,25 +650,14 @@ func (s *Service) Submit(ctx context.Context, q Query) (Reply, error) {
 	}
 
 	latency := time.Since(start)
-	s.win.Add(latency.Seconds())
-	s.completed.Add(1)
+	t.win.Add(latency.Seconds())
+	t.completed.Add(1)
 
-	reply := Reply{Latency: latency, BatchSize: iq.batch, Offloaded: offloaded, Degraded: degraded}
+	reply := Reply{Latency: latency, BatchSize: iq.batch, Offloaded: offloaded, Degraded: degraded, Tenant: q.Tenant}
 	if q.TopN > 0 {
 		reply.Recs = mergeTopN(iq.recs, q.TopN)
 	}
 	return reply, nil
-}
-
-// countAborted records a pre-execution context abort in the right counter:
-// a deadline expiry is a deadline shed (the overload-defense outcome), an
-// explicit cancellation stays a plain cancel.
-func (s *Service) countAborted(err error) {
-	if errors.Is(err, context.DeadlineExceeded) {
-		s.shedDeadline.Add(1)
-	} else {
-		s.cancelled.Add(1)
-	}
 }
 
 // awaitQuery blocks until the query completes, ctx is cancelled, or the
@@ -647,39 +704,75 @@ func mergeTopN(recs []model.Ranked, n int) []model.Ranked {
 	return recs[:n]
 }
 
-// BatchSize returns the current per-request batch size.
-func (s *Service) BatchSize() int { return int(s.batch.Load()) }
+// TenantCount returns the number of tenants (1 for the classic
+// single-model service).
+func (s *Service) TenantCount() int { return len(s.tenants) }
 
-// SetBatchSize retunes the per-request batch size for subsequent queries
-// (manual counterpart of the AutoTune controller).
-func (s *Service) SetBatchSize(b int) error {
+// TenantName returns the name of the tenant at index i ("" for the classic
+// single-model service's anonymous tenant).
+func (s *Service) TenantName(i int) string { return s.tenants[i].name }
+
+// TenantIndex maps a tenant name to its index in Config.Tenants order.
+func (s *Service) TenantIndex(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// BatchSize returns tenant 0's current per-request batch size.
+func (s *Service) BatchSize() int { return int(s.tenants[0].batch.Load()) }
+
+// SetBatchSize retunes tenant 0's per-request batch size for subsequent
+// queries (manual counterpart of the AutoTune controller).
+func (s *Service) SetBatchSize(b int) error { return s.SetTenantBatchSize(0, b) }
+
+// SetTenantBatchSize retunes one tenant's per-request batch size.
+func (s *Service) SetTenantBatchSize(tenant, b int) error {
 	if b < 1 || b > MaxBatchSize {
 		return fmt.Errorf("live: batch size %d outside [1, %d]", b, MaxBatchSize)
 	}
-	s.batch.Store(int64(b))
+	s.tenants[tenant].batch.Store(int64(b))
 	return nil
 }
 
-// GPUThreshold returns the current offload threshold (0 = no offload).
-func (s *Service) GPUThreshold() int { return int(s.thresh.Load()) }
+// GPUThreshold returns tenant 0's current offload threshold (0 = no
+// offload).
+func (s *Service) GPUThreshold() int { return int(s.tenants[0].thresh.Load()) }
 
-// SetGPUThreshold retunes the offload threshold for subsequent queries
-// (manual counterpart of the AutoTune threshold walk). 0 disables offload.
-func (s *Service) SetGPUThreshold(thr int) error {
+// SetGPUThreshold retunes tenant 0's offload threshold for subsequent
+// queries (manual counterpart of the AutoTune threshold walk). 0 disables
+// offload.
+func (s *Service) SetGPUThreshold(thr int) error { return s.SetTenantGPUThreshold(0, thr) }
+
+// SetTenantGPUThreshold retunes one tenant's offload threshold.
+func (s *Service) SetTenantGPUThreshold(tenant, thr int) error {
 	if s.acc == nil {
 		return errors.New("live: no accelerator lane (Config.GPU unset)")
 	}
 	if thr < 0 || thr > workload.MaxQuerySize {
 		return fmt.Errorf("live: GPU threshold %d outside [0, %d]", thr, workload.MaxQuerySize)
 	}
-	s.thresh.Store(int64(thr))
+	s.tenants[tenant].thresh.Store(int64(thr))
 	return nil
 }
 
 // LatencySnapshot copies the current contents of the online latency window
-// in seconds (unordered). A fleet front end merges the snapshots of its
-// replicas to estimate fleet-wide percentiles over one coherent sample set.
-func (s *Service) LatencySnapshot() []float64 { return s.win.Snapshot() }
+// in seconds (unordered), concatenated across tenants. A fleet front end
+// merges the snapshots of its replicas to estimate fleet-wide percentiles
+// over one coherent sample set.
+func (s *Service) LatencySnapshot() []float64 {
+	if len(s.tenants) == 1 {
+		return s.tenants[0].win.Snapshot()
+	}
+	var all []float64
+	for _, t := range s.tenants {
+		all = append(all, t.win.Snapshot()...)
+	}
+	return all
+}
+
+// TenantLatencySnapshot copies one tenant's online latency window in
+// seconds (unordered), for per-tenant fleet-wide percentile merging.
+func (s *Service) TenantLatencySnapshot(i int) []float64 { return s.tenants[i].win.Snapshot() }
 
 // Scale returns the current service-time scale factor (1 = nominal speed).
 func (s *Service) Scale() float64 { return s.scale.Load() }
@@ -720,8 +813,10 @@ func (s *Service) Fail() {
 		return
 	}
 	close(s.failCh)
-	if s.adm != nil {
-		s.adm.shutdown(ErrReplicaDown)
+	for _, t := range s.tenants {
+		if t.adm != nil {
+			t.adm.shutdown(ErrReplicaDown)
+		}
 	}
 }
 
@@ -729,57 +824,49 @@ func (s *Service) Fail() {
 // the health signal fleet routing checks.
 func (s *Service) Failed() bool { return s.failed.Load() }
 
-// Stats returns an online snapshot.
+// Stats returns an online snapshot. On a multi-tenant service the lifetime
+// counters are summed across tenants, the percentiles are computed over the
+// merged tenant windows, and the knob/SLA fields are tenant 0's (read
+// TenantStats for any one tenant's own).
 func (s *Service) Stats() Stats {
-	sum := s.win.Summary()
-	st := Stats{
-		Submitted:      s.submitted.Load(),
-		Completed:      s.completed.Load(),
-		Cancelled:      s.cancelled.Load(),
-		BatchSize:      s.BatchSize(),
-		GPUThreshold:   s.GPUThreshold(),
-		GPUQueries:     s.gpuQueries.Load(),
-		P50:            time.Duration(sum.P50 * float64(time.Second)),
-		P95:            time.Duration(sum.P95 * float64(time.Second)),
-		WindowLen:      sum.Count,
-		SLA:            s.cfg.SLA,
-		Retunes:        s.retunes.Load(),
-		Shed:           s.shed.Load(),
-		Evicted:        s.evicted.Load(),
-		ShedDeadline:   s.shedDeadline.Load(),
-		Abandoned:      s.abandoned.Load(),
-		DegradeLevel:   int(s.degLevel.Load()),
-		DegradeSteps:   s.degradeSteps.Load(),
-		Truncated:      s.truncated.Load(),
-		FallbackServed: s.fallbackServed.Load(),
-		Failed:         s.failedQ.Load(),
+	if len(s.tenants) == 1 {
+		return s.tenants[0].snapshot()
 	}
-	if s.adm != nil {
-		st.Queued = s.adm.queued()
+	st := s.tenants[0].snapshot()
+	st.Tenant = ""
+	st.Share = 0
+	for _, t := range s.tenants[1:] {
+		ts := t.snapshot()
+		st = st.Accumulate(ts)
+		st.Queued += ts.Queued // gauge: Accumulate folds lifetime counters only
 	}
-	if est, ok := s.cfg.Model.EmbStats(); ok {
-		if s.cfg.Degrade.Fallback != nil {
-			if fst, fok := s.cfg.Degrade.Fallback.EmbStats(); fok {
-				est = est.Add(fst)
-			}
-		}
-		st.EmbStore = true
-		st.EmbHits = est.Hits
-		st.EmbMisses = est.Misses
-		st.EmbEvictions = est.Evictions
-		st.EmbBytesRead = est.BytesRead
-		st.EmbHitRate = est.HitRate()
+	var cpuQ uint64
+	for _, t := range s.tenants {
+		cpuQ += t.cpuQueries.Load()
 	}
-	if total := st.GPUQueries + s.cpuQueries.Load(); total > 0 {
+	all := s.LatencySnapshot()
+	st.P50, st.P95 = 0, 0
+	if len(all) > 0 {
+		st.P50 = time.Duration(stats.Percentile(all, 50) * float64(time.Second))
+		st.P95 = time.Duration(stats.Percentile(all, 95) * float64(time.Second))
+	}
+	st.WindowLen = len(all)
+	st.GPUQueryShare, st.GPUWorkShare, st.EmbHitRate = 0, 0, 0
+	if total := st.GPUQueries + cpuQ; total > 0 {
 		st.GPUQueryShare = float64(st.GPUQueries) / float64(total)
 	}
-	st.GPUItems = s.gpuItems.Load()
-	st.WorkItems = st.GPUItems + s.cpuItems.Load()
 	if st.WorkItems > 0 {
 		st.GPUWorkShare = float64(st.GPUItems) / float64(st.WorkItems)
 	}
+	if looked := st.EmbHits + st.EmbMisses; looked > 0 {
+		st.EmbHitRate = float64(st.EmbHits) / float64(looked)
+	}
 	return st
 }
+
+// TenantStats returns one tenant's slice of the online snapshot: its own
+// knobs, windowed percentiles, SLA, and counter ledger.
+func (s *Service) TenantStats(i int) Stats { return s.tenants[i].snapshot() }
 
 // Close stops accepting queries, waits for every in-flight query to
 // complete, and shuts down the executor lanes and controllers. Queries
@@ -797,24 +884,22 @@ func (s *Service) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 
-	if s.adm != nil {
-		// Flush queued-but-unstarted queries with ErrShutdown so a
-		// saturated service closes in bounded time instead of serving its
-		// whole backlog first.
-		s.adm.shutdown(ErrShutdown)
+	for _, t := range s.tenants {
+		if t.adm != nil {
+			// Flush queued-but-unstarted queries with ErrShutdown so a
+			// saturated service closes in bounded time instead of serving
+			// its whole backlog first.
+			t.adm.shutdown(ErrShutdown)
+		}
 	}
 	s.inFlight.Wait() // all Submits returned: no more lane admissions
 	s.cpu.Close()
 	if s.acc != nil {
 		s.acc.Close()
 	}
-	if s.ctrlStop != nil {
-		close(s.ctrlStop)
-		<-s.ctrlDone
-	}
-	if s.degStop != nil {
-		close(s.degStop)
-		<-s.degDone
+	if s.bgStop != nil {
+		close(s.bgStop)
+		s.bgWG.Wait()
 	}
 	return nil
 }

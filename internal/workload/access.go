@@ -113,6 +113,6 @@ func ParseAccess(spec string) (IndexDist, error) {
 		}
 		return z, nil
 	default:
-		return nil, fmt.Errorf("workload: unknown access distribution %q (have uniform, zipf:<s>[,<v>])", spec)
+		return nil, UnknownSpec("workload", "access distribution", spec, "uniform", "zipf:<s>[,<v>]")
 	}
 }

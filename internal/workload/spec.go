@@ -1,0 +1,17 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnknownSpec builds the error every spec-grammar parser returns for an
+// unrecognized keyword: it names what was rejected and enumerates every
+// valid spec, so a typo on a CLI flag teaches the grammar instead of just
+// refusing. prefix is the package reporting the error ("workload",
+// "fleet", "live", ...), what the grammar's domain ("access distribution",
+// "routing policy", ...), got the rejected input, and valid the complete
+// spec list in documentation order.
+func UnknownSpec(prefix, what, got string, valid ...string) error {
+	return fmt.Errorf("%s: unknown %s %q (expected one of: %s)", prefix, what, got, strings.Join(valid, ", "))
+}

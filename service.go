@@ -127,6 +127,15 @@ type ServeOptions struct {
 	// built WithEmbeddingStore effective; uniform access over an at-scale
 	// table is the cache-thrash scenario.
 	Access string
+	// Tenants serves N named tenants on one shared worker pool (and fleet)
+	// instead of the single system model: each tenant binds a zoo model
+	// with its own SLA, traffic share, knobs, overload defenses, and stats
+	// ledger, contending for the same executor lanes. Submit splits
+	// un-addressed traffic across tenants by Share; SubmitTo addresses one
+	// tenant, and Stats().Tenants reports each tenant's own percentiles
+	// and counters. Empty = the classic single-model service. See
+	// TenantSpec and ParseTenants.
+	Tenants []TenantSpec
 	// ShardTables splits the embedding-row space across the fleet's
 	// replicas: replica i of N maps only rows [R·i/N, R·(i+1)/N) of each
 	// table and draws its query indices from that range, so the fleet holds
@@ -175,6 +184,19 @@ type Service struct {
 	newReplicaModel func() (*model.Model, error)
 	ownedMu         sync.Mutex
 	owned           []*model.Model
+
+	// Multi-tenant bookkeeping (nil/empty on a single-model Service):
+	// tenant names and model names in tenant order, the name index, the
+	// Share-weighted splitter behind Submit, per-tenant fresh-instance
+	// builders for store-backed tenants (nil entries for classic tenants,
+	// which share one instance across replicas), and the MaxOutstanding
+	// caps serveFleet installs.
+	tenantNames    []string
+	tenantModels   []string
+	tenantIdx      map[string]int
+	split          *tenantSplit
+	tenantBuilders []func() (*model.Model, error)
+	tenantCaps     []int
 }
 
 // addOwned records a per-replica store-backed model for release at Close.
@@ -198,10 +220,11 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 	// A table-sharded fleet never serves from the shared full-table model —
 	// each replica maps only its shard — so don't build it: at scale the
 	// full table may not even be materializable on one host (that is the
-	// point of sharding). Every other mode serves the system's cached
-	// instance.
+	// point of sharding). A multi-tenant service doesn't build it either:
+	// every forward pass runs a tenant's own model. Every other mode
+	// serves the system's cached instance.
 	var m *model.Model
-	if !(opts.ShardTables && s.store != nil) {
+	if len(opts.Tenants) == 0 && !(opts.ShardTables && s.store != nil) {
 		var err error
 		m, err = s.modelInstance()
 		if err != nil {
@@ -304,13 +327,27 @@ func (s *System) Serve(opts ServeOptions) (*Service, error) {
 		if opts.Retry {
 			return nil, errors.New("deeprecsys: Retry requires a fleet (ServeOptions.Replicas >= 2)")
 		}
-		inner, err := live.New(base)
-		if err != nil {
+	}
+	svc := &Service{model: s.cfg.Name, tableRows: s.logicalTableRows(), sharded: opts.ShardTables}
+	if len(opts.Tenants) > 0 {
+		if err := s.applyTenants(svc, &base, opts); err != nil {
+			svc.closeOwned()
 			return nil, err
 		}
-		return &Service{inner: inner, model: s.cfg.Name, tableRows: s.logicalTableRows()}, nil
+		// A multi-tenant service reports per-tenant table geometry, not
+		// the unserved system model's.
+		svc.tableRows = 0
 	}
-	return s.serveFleet(base, opts, chaos)
+	if opts.Replicas <= 1 {
+		inner, err := live.New(base)
+		if err != nil {
+			svc.closeOwned()
+			return nil, err
+		}
+		svc.inner = inner
+		return svc, nil
+	}
+	return s.serveFleet(svc, base, opts, chaos)
 }
 
 // logicalTableRows is the full embedding-table row count the system was
@@ -371,9 +408,10 @@ func (s *System) parseDegrade(spec string) (live.DegradeConfig, error) {
 // counters are its own; with ShardTables each replica's instance maps only
 // its shard of the row space. The retry, autoscale, and chaos layers start
 // here, on top of the serving fleet.
-func (s *System) serveFleet(base live.Config, opts ServeOptions, chaos fleet.ChaosConfig) (*Service, error) {
+func (s *System) serveFleet(svc *Service, base live.Config, opts ServeOptions, chaos fleet.ChaosConfig) (*Service, error) {
 	policy, err := fleet.ParsePolicy(opts.RoutingPolicy)
 	if err != nil {
+		svc.closeOwned()
 		return nil, err
 	}
 	gpuReplicas := opts.Replicas
@@ -385,7 +423,24 @@ func (s *System) serveFleet(base live.Config, opts ServeOptions, chaos fleet.Cha
 	for i := range cfgs {
 		cfgs[i] = replicaConfig(base, s.seed+replicaSeedStride*int64(i), speeds[i], base.GPU != nil && i < gpuReplicas)
 	}
-	svc := &Service{model: s.cfg.Name, base: base, tableRows: s.logicalTableRows(), sharded: opts.ShardTables}
+	svc.base = base
+	// Store-backed tenants: every replica gets its own fresh instance
+	// (same seed, so identical weights) so its cache counters are its own,
+	// exactly like the single-model store-backed fleet below.
+	for i := range cfgs {
+		for ti, build := range svc.tenantBuilders {
+			if build == nil {
+				continue
+			}
+			m, err := build()
+			if err != nil {
+				svc.closeOwned()
+				return nil, fmt.Errorf("deeprecsys: tenant %s: %w", svc.tenantNames[ti], err)
+			}
+			svc.addOwned(m)
+			cfgs[i].Tenants[ti].Model = m
+		}
+	}
 	if s.store != nil {
 		newStoreModel := func(shard embstore.Shard) (*model.Model, error) {
 			cfg := s.cfg
@@ -415,6 +470,15 @@ func (s *System) serveFleet(base live.Config, opts ServeOptions, chaos fleet.Cha
 	svc.fl = fl
 	svc.nextSeed.Store(s.seed + replicaSeedStride*int64(opts.Replicas))
 	fl.SetRetry(opts.Retry)
+	for i, limit := range svc.tenantCaps {
+		if limit > 0 {
+			if err := fl.SetTenantCap(i, limit); err != nil {
+				fl.Close()
+				svc.closeOwned()
+				return nil, err
+			}
+		}
+	}
 	if opts.AutoScale {
 		min, max := opts.MinReplicas, opts.MaxReplicas
 		if min == 0 {
@@ -467,14 +531,23 @@ func (s *System) serveFleet(base live.Config, opts ServeOptions, chaos fleet.Cha
 // seeds would alias worker streams.
 const replicaSeedStride = 7919
 
-// replicaConfig specializes the base config for one fleet replica.
+// replicaConfig specializes the base config for one fleet replica. The
+// tenant list is deep-copied so per-replica specialization (stripping the
+// accelerator, per-replica store-backed instances) never mutates the shared
+// template or a sibling replica.
 func replicaConfig(base live.Config, seed int64, speed float64, gpu bool) live.Config {
 	cfg := base
 	cfg.Seed = seed
 	cfg.Scale = speed
+	if len(base.Tenants) > 0 {
+		cfg.Tenants = append([]live.TenantConfig(nil), base.Tenants...)
+	}
 	if !gpu {
 		cfg.GPU = nil
 		cfg.GPUThreshold = 0
+		for i := range cfg.Tenants {
+			cfg.Tenants[i].GPUThreshold = 0
+		}
 	}
 	return cfg
 }
@@ -496,6 +569,36 @@ func (s *Service) AddReplica(withGPU bool) (int, error) {
 	}
 	seed := s.nextSeed.Add(replicaSeedStride) - replicaSeedStride
 	cfg := replicaConfig(s.base, seed, 1, withGPU)
+	// Store-backed tenants: the joining replica gets its own instances,
+	// like every replica at Serve.
+	var grown []*model.Model
+	for ti, build := range s.tenantBuilders {
+		if build == nil {
+			continue
+		}
+		m, err := build()
+		if err != nil {
+			for _, g := range grown {
+				g.Close()
+			}
+			return 0, fmt.Errorf("deeprecsys: tenant %s: %w", s.tenantNames[ti], err)
+		}
+		grown = append(grown, m)
+		cfg.Tenants[ti].Model = m
+	}
+	if len(grown) > 0 {
+		id, err := s.fl.Add(cfg)
+		if err != nil {
+			for _, g := range grown {
+				g.Close()
+			}
+			return 0, err
+		}
+		for _, g := range grown {
+			s.addOwned(g)
+		}
+		return id, nil
+	}
 	if s.newReplicaModel != nil {
 		m, err := s.newReplicaModel()
 		if err != nil {
@@ -550,15 +653,29 @@ type Reply struct {
 	// Replica is the ID of the replica that served the query (0 on a
 	// single-replica Service).
 	Replica int
+	// Tenant is the name of the tenant that served the query ("" on a
+	// single-model Service) — on a plain Submit, the tenant the weighted
+	// split picked.
+	Tenant string
 }
 
 // Submit serves one live query: rank `candidates` items and return the
 // `topN` highest-CTR ones (topN 0 skips ranking; load drivers use it to
-// measure latency only). On a fleet the routing policy picks the serving
-// replica first. Submit blocks until the query completes, ctx is
-// cancelled, or the service closes; it is safe for concurrent use.
+// measure latency only). On a multi-tenant service the Share-weighted
+// split picks the serving tenant (SubmitTo addresses one explicitly); on a
+// fleet the routing policy then picks the serving replica. Submit blocks
+// until the query completes, ctx is cancelled, or the service closes; it
+// is safe for concurrent use.
 func (s *Service) Submit(ctx context.Context, candidates, topN int) (Reply, error) {
 	q := live.Query{Candidates: candidates, TopN: topN}
+	if s.split != nil {
+		q.Tenant = s.split.next()
+	}
+	return s.submit(ctx, q)
+}
+
+// submit runs one tenant-resolved query through the serving stack.
+func (s *Service) submit(ctx context.Context, q live.Query) (Reply, error) {
 	var (
 		r       live.Reply
 		replica int
@@ -573,7 +690,10 @@ func (s *Service) Submit(ctx context.Context, candidates, topN int) (Reply, erro
 		return Reply{}, err
 	}
 	reply := Reply{Latency: r.Latency, BatchSize: r.BatchSize, Offloaded: r.Offloaded, Degraded: r.Degraded, Replica: replica}
-	if topN > 0 {
+	if len(s.tenantNames) > 0 {
+		reply.Tenant = s.tenantNames[r.Tenant]
+	}
+	if q.TopN > 0 {
 		reply.Recs = make([]Recommendation, len(r.Recs))
 		for i, rec := range r.Recs {
 			reply.Recs[i] = Recommendation{Item: rec.Item, CTR: rec.CTR}
@@ -660,6 +780,13 @@ type ServiceStats struct {
 	// windows — while each PerReplica entry carries that replica's own
 	// window, knobs, and lifetime counts.
 	PerReplica []ReplicaStats
+	// Tenants holds per-tenant snapshots in ServeOptions.Tenants order
+	// (nil on a single-model Service). The top-level counters and
+	// percentiles aggregate across tenants; each Tenants entry carries one
+	// tenant's own window, knobs, and ledger, measured against its own
+	// SLA. Fleet totals equal the sum over tenants, membership churn
+	// included.
+	Tenants []TenantStats
 }
 
 // ReplicaStats is the online snapshot of one fleet replica.
@@ -719,7 +846,7 @@ func (s *Service) Stats() ServiceStats {
 		return s.fleetStats()
 	}
 	st := s.inner.Stats()
-	return ServiceStats{
+	out := ServiceStats{
 		Model:          s.model,
 		Submitted:      st.Submitted,
 		Completed:      st.Completed,
@@ -753,6 +880,13 @@ func (s *Service) Stats() ServiceStats {
 		CacheBytesRead: st.EmbBytesRead,
 		CacheHitRate:   st.EmbHitRate,
 	}
+	if len(s.tenantNames) > 0 {
+		out.Tenants = make([]TenantStats, len(s.tenantNames))
+		for i := range s.tenantNames {
+			out.Tenants[i] = tenantStatsFromLive(s.tenantNames[i], s.tenantModels[i], s.inner.TenantStats(i))
+		}
+	}
+	return out
 }
 
 // fleetStats maps the fleet snapshot onto the public ServiceStats.
@@ -822,6 +956,17 @@ func (s *Service) fleetStats() ServiceStats {
 			CacheHits:    r.Stats.EmbHits,
 			CacheMisses:  r.Stats.EmbMisses,
 			CacheHitRate: r.Stats.EmbHitRate,
+		}
+	}
+	if len(s.tenantNames) > 0 {
+		st.Tenants = make([]TenantStats, len(fst.Tenants))
+		for i, ft := range fst.Tenants {
+			ts := tenantStatsFromLive(s.tenantNames[i], s.tenantModels[i], ft.Stats)
+			ts.Outstanding = ft.Outstanding
+			ts.Cap = ft.Cap
+			ts.CapShed = ft.CapShed
+			ts.Shape = ft.Shape
+			st.Tenants[i] = ts
 		}
 	}
 	return st

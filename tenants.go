@@ -1,0 +1,467 @@
+package deeprecsys
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/embstore"
+	"github.com/deeprecinfra/deeprecsys/internal/live"
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/workload"
+)
+
+// TenantSpec binds one named tenant onto a shared Service: a zoo model with
+// its own SLA, traffic share, two-knob operating point, overload defenses,
+// access pattern, and embedding-table backing. Tenants share the service's
+// executor lanes — the CPU worker pool and the accelerator streams — so
+// co-located tenants contend exactly the way co-located production models
+// do; everything above the lanes (knobs, latency windows, admission gates,
+// degrade ladders, stats ledgers) is per-tenant. Zero-valued fields inherit
+// the corresponding ServeOptions value, so a spec needs only what differs
+// from the service baseline.
+type TenantSpec struct {
+	// Model is the zoo model the tenant serves (required).
+	Model string
+	// Name identifies the tenant in SubmitTo, Reply.Tenant, and Stats
+	// (default: Model). Names must be unique; two tenants may serve the
+	// same Model under different Names — with different Seeds, that is a
+	// live A/B test between model versions, split by Share.
+	Name string
+	// SLA is the tenant's p95 target. 0 uses ServeOptions.SLA when set,
+	// otherwise the model's own published tail-latency target — so a
+	// default multi-tenant service reports each tenant against its own
+	// paper SLA, not the first model's.
+	SLA time.Duration
+	// Share is the tenant's traffic weight: Submit splits un-addressed
+	// queries across tenants by Share (a deterministic smooth weighted
+	// round-robin), and share-aware fleet placement sizes partitions with
+	// it. 0 = 1.
+	Share float64
+	// BatchSize / GPUThreshold seed the tenant's two knobs (0 = inherit
+	// the ServeOptions values; per-tenant AutoTune walks them from there).
+	BatchSize    int
+	GPUThreshold int
+	// Admission bounds the work this tenant may have in the lanes at once,
+	// as a ServeOptions.Admission spec string ("" = inherit). This is the
+	// per-tenant outstanding-work cap that keeps one tenant's overload
+	// from consuming every execution slot.
+	Admission string
+	// Deadline is the tenant's per-query latency budget (0 = inherit).
+	Deadline time.Duration
+	// Degrade is the tenant's graceful-degradation ladder, as a
+	// ServeOptions.Degrade spec string ("" = inherit).
+	Degrade string
+	// Access is the tenant's sparse-index popularity distribution, as a
+	// ServeOptions.Access spec string ("" = inherit).
+	Access string
+	// Seed selects the tenant's model weights (0 = the system seed). Two
+	// tenants with the same Model and different Seeds serve different
+	// weight versions — the A/B mechanism.
+	Seed int64
+	// MaxOutstanding caps the tenant's fleet-wide routed-but-unreturned
+	// queries; excess queries are shed at the front door with
+	// ErrOverloaded before touching a replica. Requires a fleet
+	// (ServeOptions.Replicas >= 2); single-replica services bound tenants
+	// with Admission instead. 0 = uncapped.
+	MaxOutstanding int
+	// Workload names the tenant's query-size/arrival scenario, as a
+	// ParseWorkload spec. The Service does not read it — queries carry
+	// their own sizes — but load drivers (cmd/deeprecsys serve) use it to
+	// generate this tenant's stream ("" = the driver's default workload).
+	Workload string
+	// Store backs the tenant's embedding tables with a pluggable store,
+	// as a WithEmbeddingStore spec string ("" = classic in-memory tables).
+	// On a fleet every replica gets its own store-backed instance so
+	// per-replica cache counters stay per-replica truth; incompatible
+	// with AutoScale.
+	Store string
+	// Rows / Lookups override the tenant model's embedding-table geometry,
+	// as in WithTableScale (0 = keep the zoo default).
+	Rows, Lookups int
+}
+
+// tenantKeyNames enumerates the ParseTenants field keys in grammar order.
+var tenantKeyNames = []string{
+	"name", "sla", "share", "batch", "thresh", "admission", "deadline",
+	"degrade", "access", "seed", "cap", "workload", "store", "rows", "lookups",
+}
+
+// ParseTenants parses the CLI tenant grammar: semicolon-separated tenants,
+// each a zoo model name with optional comma-separated key=value fields:
+//
+//	<model>[@key=val,...][;<model>[@key=val,...]]...
+//
+// e.g. "DLRM-RMC1@sla=100ms,share=3;WnD@sla=25ms,admission=queue:64".
+// Keys: name, sla, share, batch, thresh, admission, deadline, degrade,
+// access, seed, cap, workload, store, rows, lookups — each setting the
+// TenantSpec field of the same meaning. Values whose own grammar contains
+// commas (degrade, access, workload, store) write '+' in place of ',':
+// "degrade=truncate=128+fallback=NCF". "" and "none" parse to no tenants.
+func ParseTenants(spec string) ([]TenantSpec, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	var out []TenantSpec
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("deeprecsys: empty tenant entry in %q", spec)
+		}
+		modelName, rest, hasOpts := strings.Cut(entry, "@")
+		ts := TenantSpec{Model: strings.TrimSpace(modelName)}
+		if ts.Model == "" {
+			return nil, fmt.Errorf("deeprecsys: tenant entry %q has no model name", entry)
+		}
+		if hasOpts {
+			for _, field := range strings.Split(rest, ",") {
+				key, val, ok := strings.Cut(field, "=")
+				if !ok {
+					return nil, fmt.Errorf("deeprecsys: tenant field %q in %q is not key=value", field, entry)
+				}
+				key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+				var err error
+				switch key {
+				case "name":
+					ts.Name = val
+				case "sla":
+					ts.SLA, err = time.ParseDuration(val)
+				case "share":
+					ts.Share, err = strconv.ParseFloat(val, 64)
+				case "batch":
+					ts.BatchSize, err = strconv.Atoi(val)
+				case "thresh":
+					ts.GPUThreshold, err = strconv.Atoi(val)
+				case "admission":
+					ts.Admission = uncomma(val)
+				case "deadline":
+					ts.Deadline, err = time.ParseDuration(val)
+				case "degrade":
+					ts.Degrade = uncomma(val)
+				case "access":
+					ts.Access = uncomma(val)
+				case "seed":
+					ts.Seed, err = strconv.ParseInt(val, 10, 64)
+				case "cap":
+					ts.MaxOutstanding, err = strconv.Atoi(val)
+				case "workload":
+					ts.Workload = uncomma(val)
+				case "store":
+					ts.Store = uncomma(val)
+				case "rows":
+					ts.Rows, err = strconv.Atoi(val)
+				case "lookups":
+					ts.Lookups, err = strconv.Atoi(val)
+				default:
+					return nil, workload.UnknownSpec("deeprecsys", "tenant key", key, tenantKeyNames...)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("deeprecsys: tenant %s: bad %s %q: %v", ts.Model, key, val, err)
+				}
+			}
+		}
+		out = append(out, ts)
+	}
+	return out, nil
+}
+
+// uncomma maps the tenant grammar's '+' back to the ',' of the nested spec
+// grammars (degrade, access, workload, store), which the tenant grammar
+// reserves as its own field separator.
+func uncomma(v string) string { return strings.ReplaceAll(v, "+", ",") }
+
+// tenantSplit is the deterministic smooth weighted round-robin Submit uses
+// to spread un-addressed queries across tenants by Share: each pick raises
+// every tenant's credit by its weight, serves the highest credit, and
+// charges the winner the total weight — over any window of W total picks a
+// tenant with share w receives w/W of them, interleaved (never bursted).
+type tenantSplit struct {
+	mu    sync.Mutex
+	w     []float64
+	cur   []float64
+	total float64
+}
+
+func newTenantSplit(shares []float64) *tenantSplit {
+	ts := &tenantSplit{w: shares, cur: make([]float64, len(shares))}
+	for _, w := range shares {
+		ts.total += w
+	}
+	return ts
+}
+
+func (ts *tenantSplit) next() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	best := 0
+	for i := range ts.cur {
+		ts.cur[i] += ts.w[i]
+		if ts.cur[i] > ts.cur[best] {
+			best = i
+		}
+	}
+	ts.cur[best] -= ts.total
+	return best
+}
+
+// applyTenants builds the multi-tenant serving state from
+// ServeOptions.Tenants: it validates each spec, builds the per-tenant
+// models (owned by svc for release at Close), fills base.Tenants, and
+// wires svc's tenant bookkeeping (names, weighted split, store builders,
+// fleet caps). Models built before a failure are svc.closeOwned by the
+// caller.
+func (s *System) applyTenants(svc *Service, base *live.Config, opts ServeOptions) error {
+	if s.store != nil {
+		return errors.New("deeprecsys: ServeOptions.Tenants on a store-backed system (give each tenant its own store via TenantSpec.Store)")
+	}
+	if opts.ShardTables {
+		return errors.New("deeprecsys: ShardTables is incompatible with Tenants (table geometry is per-tenant; use TenantSpec.Store)")
+	}
+	n := len(opts.Tenants)
+	svc.tenantNames = make([]string, n)
+	svc.tenantModels = make([]string, n)
+	svc.tenantIdx = make(map[string]int, n)
+	svc.tenantBuilders = make([]func() (*model.Model, error), n)
+	svc.tenantCaps = make([]int, n)
+	shares := make([]float64, n)
+	base.Tenants = make([]live.TenantConfig, n)
+	base.Model = nil // every forward pass runs a tenant's model
+	anyStore := false
+	for i, spec := range opts.Tenants {
+		if spec.Model == "" {
+			return fmt.Errorf("deeprecsys: tenant %d: Model is required", i)
+		}
+		mc, err := model.ByName(spec.Model)
+		if err != nil {
+			return err
+		}
+		name := spec.Name
+		if name == "" {
+			name = spec.Model
+		}
+		if _, dup := svc.tenantIdx[name]; dup {
+			return fmt.Errorf("deeprecsys: duplicate tenant name %q (set TenantSpec.Name to serve one model twice)", name)
+		}
+		svc.tenantIdx[name] = i
+		svc.tenantNames[i] = name
+		svc.tenantModels[i] = spec.Model
+		if spec.Rows > 0 || spec.Lookups > 0 {
+			mc, err = mc.WithTableScale(spec.Rows, spec.Lookups)
+			if err != nil {
+				return fmt.Errorf("deeprecsys: tenant %s: %w", name, err)
+			}
+		}
+		storeBacked := spec.Store != "" && spec.Store != "none"
+		if storeBacked {
+			sp, err := embstore.ParseSpec(spec.Store)
+			if err != nil {
+				return fmt.Errorf("deeprecsys: tenant %s: %w", name, err)
+			}
+			mc.Tables = storeOpener(sp, embstore.Shard{})
+			anyStore = true
+		}
+		adm, err := live.ParseAdmission(spec.Admission)
+		if err != nil {
+			return fmt.Errorf("deeprecsys: tenant %s: %w", name, err)
+		}
+		deg, err := s.parseDegrade(spec.Degrade)
+		if err != nil {
+			return fmt.Errorf("deeprecsys: tenant %s: %w", name, err)
+		}
+		var access workload.IndexDist
+		if spec.Access != "" {
+			access, err = workload.ParseAccess(spec.Access)
+			if err != nil {
+				return fmt.Errorf("deeprecsys: tenant %s: %w", name, err)
+			}
+		}
+		if spec.MaxOutstanding < 0 {
+			return fmt.Errorf("deeprecsys: tenant %s: negative MaxOutstanding %d", name, spec.MaxOutstanding)
+		}
+		svc.tenantCaps[i] = spec.MaxOutstanding
+		// The tenant's default SLA is its own model's published target —
+		// not the first tenant's — unless the service baseline was set
+		// explicitly (then 0 inherits it, like every other field).
+		sla := spec.SLA
+		if sla == 0 && opts.SLA == 0 {
+			sla = mc.SLAMedium
+		}
+		seed := spec.Seed
+		if seed == 0 {
+			seed = s.seed
+		}
+		tenantCfg := mc // capture this tenant's final config for the builder
+		builder := func() (*model.Model, error) { return model.New(tenantCfg, seed) }
+		tc := live.TenantConfig{
+			Name:         name,
+			BatchSize:    spec.BatchSize,
+			GPUThreshold: spec.GPUThreshold,
+			SLA:          sla,
+			Admission:    adm,
+			Deadline:     spec.Deadline,
+			Degrade:      deg,
+			Access:       access,
+			Share:        spec.Share,
+		}
+		if storeBacked {
+			// Fleet replicas each build their own instance (serveFleet /
+			// AddReplica); the single-replica path builds one below.
+			svc.tenantBuilders[i] = builder
+		} else {
+			m, err := builder()
+			if err != nil {
+				return fmt.Errorf("deeprecsys: tenant %s: %w", name, err)
+			}
+			svc.addOwned(m)
+			tc.Model = m
+		}
+		base.Tenants[i] = tc
+		if spec.Share == 0 {
+			shares[i] = 1
+		} else {
+			shares[i] = spec.Share
+		}
+	}
+	svc.split = newTenantSplit(shares)
+	if opts.AutoScale && anyStore {
+		return errors.New("deeprecsys: AutoScale with store-backed tenants is not supported (grown replicas cannot share a store instance)")
+	}
+	if opts.Replicas <= 1 {
+		for i, c := range svc.tenantCaps {
+			if c > 0 {
+				return fmt.Errorf("deeprecsys: tenant %s: MaxOutstanding requires a fleet (bound a single replica's tenant with Admission)", svc.tenantNames[i])
+			}
+		}
+		// Store-backed tenants on the single replica: build the one
+		// instance now.
+		for i, b := range svc.tenantBuilders {
+			if b == nil {
+				continue
+			}
+			m, err := b()
+			if err != nil {
+				return fmt.Errorf("deeprecsys: tenant %s: %w", svc.tenantNames[i], err)
+			}
+			svc.addOwned(m)
+			base.Tenants[i].Model = m
+		}
+	}
+	return nil
+}
+
+// Tenants returns the service's tenant names in tenant order (nil on a
+// single-model Service).
+func (s *Service) Tenants() []string {
+	if len(s.tenantNames) == 0 {
+		return nil
+	}
+	return append([]string(nil), s.tenantNames...)
+}
+
+// SubmitTo serves one live query addressed to a named tenant, bypassing the
+// Share-weighted split. See Submit for the execution contract.
+func (s *Service) SubmitTo(ctx context.Context, tenant string, candidates, topN int) (Reply, error) {
+	if len(s.tenantNames) == 0 {
+		return Reply{}, errors.New("deeprecsys: SubmitTo on a single-model Service (set ServeOptions.Tenants)")
+	}
+	idx, ok := s.tenantIdx[tenant]
+	if !ok {
+		return Reply{}, fmt.Errorf("deeprecsys: unknown tenant %q (have %s)", tenant, strings.Join(s.tenantNames, ", "))
+	}
+	return s.submit(ctx, live.Query{Candidates: candidates, TopN: topN, Tenant: idx})
+}
+
+// TenantStats is the online snapshot of one tenant of a multi-tenant
+// Service: the tenant's own knobs, windowed percentiles against its own
+// SLA, and lifetime counter ledger, independent of its neighbors on the
+// shared lanes. On a fleet the counters are fleet-merged (current members
+// plus removed replicas) and the percentiles computed over the union of the
+// tenant's per-replica latency windows.
+type TenantStats struct {
+	// Name is the tenant's name, Model the zoo model it serves, Share its
+	// configured traffic weight.
+	Name  string
+	Model string
+	Share float64
+	// SLA is the tenant's p95 target; P50/P95 its windowed online
+	// percentiles; WindowLen the samples behind them.
+	SLA       time.Duration
+	P50, P95  time.Duration
+	WindowLen int
+	// BatchSize / GPUThreshold are the tenant's current knob values;
+	// Retunes counts its controller's knob moves.
+	BatchSize    int
+	GPUThreshold int
+	Retunes      uint64
+	// Lifetime query counters. Per tenant they satisfy
+	// Submitted == Completed + Cancelled + Shed + ShedDeadline + Failed +
+	// Abandoned, independently of every other tenant.
+	Submitted, Completed, Cancelled        uint64
+	Shed, Evicted, ShedDeadline, Abandoned uint64
+	Failed                                 uint64
+	// Degradation ledger: see ServiceStats.
+	Truncated, FallbackServed, DegradeSteps uint64
+	DegradeLevel                            int
+	// GPU offload ledger: see ServiceStats.
+	GPUQueries                  uint64
+	GPUQueryShare, GPUWorkShare float64
+	// Fleet-only fields (zero on a single-replica service): Outstanding is
+	// the tenant's fleet-wide routed-but-unreturned count, Cap its
+	// MaxOutstanding ceiling (0 = uncapped), CapShed the queries refused at
+	// the front door for exceeding it, and Shape the tenant's normalized
+	// (FC-FLOP share, embedding-byte share) resource vector — what
+	// shape-aware placement keys on.
+	Outstanding int
+	Cap         int
+	CapShed     uint64
+	Shape       [2]float64
+	// Embedding-store cache counters (zero without a TenantSpec.Store).
+	EmbStore               bool
+	CacheHits, CacheMisses uint64
+	CacheHitRate           float64
+}
+
+// MeetsSLA reports whether the tenant's online p95 is within its target.
+func (t TenantStats) MeetsSLA() bool {
+	return t.SLA > 0 && t.WindowLen > 0 && t.P95 <= t.SLA
+}
+
+// tenantStatsFromLive maps one tenant's live snapshot onto the public type.
+func tenantStatsFromLive(name, modelName string, st live.Stats) TenantStats {
+	return TenantStats{
+		Name:           name,
+		Model:          modelName,
+		Share:          st.Share,
+		SLA:            st.SLA,
+		P50:            st.P50,
+		P95:            st.P95,
+		WindowLen:      st.WindowLen,
+		BatchSize:      st.BatchSize,
+		GPUThreshold:   st.GPUThreshold,
+		Retunes:        st.Retunes,
+		Submitted:      st.Submitted,
+		Completed:      st.Completed,
+		Cancelled:      st.Cancelled,
+		Shed:           st.Shed,
+		Evicted:        st.Evicted,
+		ShedDeadline:   st.ShedDeadline,
+		Abandoned:      st.Abandoned,
+		Failed:         st.Failed,
+		Truncated:      st.Truncated,
+		FallbackServed: st.FallbackServed,
+		DegradeSteps:   st.DegradeSteps,
+		DegradeLevel:   st.DegradeLevel,
+		GPUQueries:     st.GPUQueries,
+		GPUQueryShare:  st.GPUQueryShare,
+		GPUWorkShare:   st.GPUWorkShare,
+		EmbStore:       st.EmbStore,
+		CacheHits:      st.EmbHits,
+		CacheMisses:    st.EmbMisses,
+		CacheHitRate:   st.EmbHitRate,
+	}
+}
