@@ -239,6 +239,13 @@ func TestCloseUnderSaturationAbandonsQueued(t *testing.T) {
 		BatchSize: MaxBatchSize,
 		Admission: AdmissionConfig{Policy: AdmitQueue, Concurrency: 1, Depth: 8},
 	})
+	// The injected delay holds the admission slot open past the forward
+	// pass (release defers until Submit returns), so the holder query is
+	// deterministically slow regardless of how fast the kernel backend
+	// finishes the actual compute.
+	if err := s.SetDelay(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 	// One slow query holds the execution slot; several more park behind it.
 	var wg sync.WaitGroup
 	holderErr := make(chan error, 1)
@@ -440,6 +447,12 @@ func TestFailAbortsPromptly(t *testing.T) {
 		BatchSize: MaxBatchSize,
 		Admission: AdmissionConfig{Policy: AdmitQueue, Concurrency: 1, Depth: 4},
 	})
+	// Hold the admission slot open past the forward pass (see
+	// TestCloseUnderSaturationAbandonsQueued) so the queue forms no matter
+	// how fast the kernel backend is.
+	if err := s.SetDelay(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 	ctx := context.Background()
 	// One query executes, one parks in the admission queue.
 	execErr := make(chan error, 1)

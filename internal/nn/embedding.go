@@ -239,24 +239,15 @@ func (b *EmbeddingBag) ForwardInto(ar *tensor.Arena, indices [][]int) *tensor.Te
 						w.Data[idxs[l+12]*dim] + w.Data[idxs[l+13]*dim] +
 						w.Data[idxs[l+14]*dim] + w.Data[idxs[l+15]*dim]
 				}
-				s0, s1 := w.Row(idxs[l]), w.Row(idxs[l+1])
-				s2, s3 := w.Row(idxs[l+2]), w.Row(idxs[l+3])
-				s4, s5 := w.Row(idxs[l+4]), w.Row(idxs[l+5])
-				s6, s7 := w.Row(idxs[l+6]), w.Row(idxs[l+7])
-				s0, s1, s2, s3 = s0[:len(row)], s1[:len(row)], s2[:len(row)], s3[:len(row)]
-				s4, s5, s6, s7 = s4[:len(row)], s5[:len(row)], s6[:len(row)], s7[:len(row)]
-				for j := range row {
-					v := row[j]
-					v += s0[j]
-					v += s1[j]
-					v += s2[j]
-					v += s3[j]
-					v += s4[j]
-					v += s5[j]
-					v += s6[j]
-					v += s7[j]
-					row[j] = v
-				}
+				// tensor.AddTo8 pools the eight rows in one fused pass on the
+				// active kernel backend; every backend applies the same
+				// per-element source order, so pooling stays bit-identical to
+				// serial accumulation (and across backends).
+				tensor.AddTo8(row,
+					w.Row(idxs[l]), w.Row(idxs[l+1]),
+					w.Row(idxs[l+2]), w.Row(idxs[l+3]),
+					w.Row(idxs[l+4]), w.Row(idxs[l+5]),
+					w.Row(idxs[l+6]), w.Row(idxs[l+7]))
 			}
 			for ; l < len(idxs); l++ {
 				tensor.AddTo(row, w.Row(idxs[l]))

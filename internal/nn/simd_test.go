@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/deeprecinfra/deeprecsys/internal/tensor"
+)
+
+// Layer-level differential coverage of the two-tier numerical-equivalence
+// policy: layers built on GEMM/AXPY (Linear, MLP, Attention, GRU) must agree
+// between backends within a k-scaled tolerance, while the embedding bag —
+// whose pooling applies one add per element in fixed source order on every
+// backend — must stay bit-identical.
+
+// runBothBackends evaluates f under AVX2 then Scalar, skipping the test when
+// the vector backend is unavailable.
+func runBothBackends(t *testing.T, f func() []float32) (scalar, simd []float32) {
+	t.Helper()
+	prev := tensor.ActiveBackend()
+	if err := tensor.SetBackend(tensor.AVX2); err != nil {
+		t.Skipf("SIMD backend unavailable: %v", err)
+	}
+	t.Cleanup(func() { tensor.SetBackend(prev) })
+	simd = f()
+	if err := tensor.SetBackend(tensor.Scalar); err != nil {
+		t.Fatal(err)
+	}
+	scalar = f()
+	return scalar, simd
+}
+
+// layerTol bounds the per-element backend difference for a layer whose
+// longest accumulation chain is k elements of magnitude ≤ amax·bmax
+// (see gemmTol in internal/tensor). Activations are monotone and applied
+// identically on both paths, so they do not widen the bound materially.
+func layerTol(k int, amax, bmax float64) float64 {
+	const eps = 1.0 / (1 << 24)
+	return 4*float64(k)*eps*amax*bmax + 1e-30
+}
+
+func assertWithinTol(t *testing.T, name string, simd, scalar []float32, tol float64) {
+	t.Helper()
+	if len(simd) != len(scalar) {
+		t.Fatalf("%s: length %d vs %d", name, len(simd), len(scalar))
+	}
+	for i := range scalar {
+		d := math.Abs(float64(simd[i]) - float64(scalar[i]))
+		if d > tol {
+			t.Fatalf("%s[%d]: simd %v scalar %v (|diff| %.3g > tol %.3g)",
+				name, i, simd[i], scalar[i], d, tol)
+		}
+	}
+}
+
+func TestLinearAndMLPForwardSIMDWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	lin := NewLinear(rng, 48, 33, ReLU)
+	mlp := NewMLP(rng, []int{48, 64, 17, 9}, ReLU, Sigmoid)
+	x := tensor.RandUniform(rng, 6, 48, 1)
+
+	scalar, simd := runBothBackends(t, func() []float32 { return lin.Forward(x).Data })
+	assertWithinTol(t, "Linear", simd, scalar, layerTol(48+1, 2, 2))
+
+	scalar, simd = runBothBackends(t, func() []float32 { return mlp.Forward(x).Data })
+	assertWithinTol(t, "MLP", simd, scalar, layerTol(3*64, 4, 4))
+}
+
+func TestAttentionAndGRUForwardSIMDWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	att := NewAttention(rng, 16, 24)
+	gru := NewGRU(rng, 16, 12)
+	// One ragged history sequence per batch item (query rows must match).
+	query := tensor.RandUniform(rng, 3, 16, 1)
+	history := []*tensor.Tensor{
+		tensor.RandUniform(rng, 4, 16, 1),
+		tensor.RandUniform(rng, 7, 16, 1),
+		tensor.RandUniform(rng, 1, 16, 1),
+	}
+	seqs := make([]*tensor.Tensor, 3)
+	for i := range seqs {
+		seqs[i] = tensor.RandUniform(rng, 5, 16, 1)
+	}
+
+	scalar, simd := runBothBackends(t, func() []float32 { return att.Forward(query, history).Data })
+	assertWithinTol(t, "Attention", simd, scalar, layerTol(4*24, 4, 4))
+
+	scalar, simd = runBothBackends(t, func() []float32 { return gru.Forward(seqs).Data })
+	// Five timesteps of three gate GEMMs compound the reordering; sigmoid/
+	// tanh keep magnitudes ≤ 1 so the chain bound stays k-linear.
+	assertWithinTol(t, "GRU", simd, scalar, layerTol(5*3*(16+12), 2, 2))
+}
+
+// The embedding bag is pinned bit-exact across backends: pooling performs no
+// multiplies and both backends accumulate sources in identical per-element
+// order (tensor.AddTo8 + AddTo). Lookup counts cover the fused 8-row passes,
+// the serial tail, and the store-backed serial path.
+func TestEmbeddingBagPoolingBitIdenticalAcrossBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	bag := NewEmbeddingBag(rng, 500, 36, PoolSum)
+	for _, lookups := range []int{1, 7, 8, 9, 16, 23, 80} {
+		idxRng := rand.New(rand.NewSource(int64(lookups)))
+		indices := make([][]int, 5)
+		for i := range indices {
+			indices[i] = make([]int, lookups)
+			for j := range indices[i] {
+				indices[i][j] = idxRng.Intn(500)
+			}
+		}
+		scalar, simd := runBothBackends(t, func() []float32 { return bag.Forward(indices).Data })
+		for i := range scalar {
+			if scalar[i] != simd[i] {
+				t.Fatalf("lookups=%d: pooling diverged at %d: simd %v scalar %v (must be bit-identical)",
+					lookups, i, simd[i], scalar[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Backend identifies a kernel implementation family for the hot vector and
+// GEMM kernels (MatMul*, Dot, AXPY, AddTo, AddTo8).
+//
+// The two backends carry different numerical contracts:
+//
+//   - Scalar preserves the historical floating-point evaluation order
+//     bit-for-bit (pinned against the retained naive references and the
+//     end-to-end goldens). It is the portable fallback and the reference.
+//   - AVX2 uses fused multiply-add and multi-accumulator summation, which
+//     change rounding and accumulation order. Its contract is
+//     tolerance-based: small relative/ULP error against the scalar backend
+//     (pinned by the differential tests in simd_test.go), with elementwise
+//     kernels (AddTo, AddTo8) still bit-identical because vectorizing an
+//     elementwise add reorders nothing.
+type Backend int32
+
+// The available backends.
+const (
+	// Scalar is the pure-Go portable backend, bit-identical to the
+	// pre-SIMD kernels on every platform.
+	Scalar Backend = iota
+	// AVX2 is the amd64 AVX2+FMA assembly backend.
+	AVX2
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case Scalar:
+		return "scalar"
+	case AVX2:
+		return "avx2"
+	default:
+		return fmt.Sprintf("Backend(%d)", int32(b))
+	}
+}
+
+// BackendEnv is the environment variable consulted once at package init to
+// pick the starting backend and, for "scalar", to hard-disable the vector
+// backend for the whole process:
+//
+//	DEEPRECSYS_BACKEND=        auto (default): AVX2 if the CPU supports it
+//	DEEPRECSYS_BACKEND=auto    same
+//	DEEPRECSYS_BACKEND=scalar  force scalar; SetBackend(AVX2) then fails,
+//	                           reproducing a non-AVX2 host exactly
+//	DEEPRECSYS_BACKEND=simd    AVX2, falling back to scalar when unsupported
+//	DEEPRECSYS_BACKEND=avx2    same as simd
+//
+// Unrecognized values behave as auto. The scalar force is the reproducibility
+// switch: every result produced before the SIMD backend existed is
+// bit-identical under it.
+const BackendEnv = "DEEPRECSYS_BACKEND"
+
+var (
+	hasAVX2     bool // CPU+OS capability, probed once at init
+	simdAllowed bool // capability minus the BackendEnv=scalar hard-disable
+	active      atomic.Int32
+)
+
+func init() {
+	hasAVX2 = detectAVX2FMA()
+	simdAllowed = hasAVX2
+	switch os.Getenv(BackendEnv) {
+	case "scalar":
+		simdAllowed = false
+	}
+	if simdAllowed {
+		active.Store(int32(AVX2))
+	} else {
+		active.Store(int32(Scalar))
+	}
+}
+
+// HasAVX2 reports whether the CPU and OS support the AVX2+FMA backend,
+// regardless of any environment override.
+func HasAVX2() bool { return hasAVX2 }
+
+// SIMDAvailable reports whether the AVX2 backend can be activated in this
+// process: the hardware supports it and DEEPRECSYS_BACKEND=scalar has not
+// disabled it. Tests gate (or skip) their vector-path assertions on this.
+func SIMDAvailable() bool { return simdAllowed }
+
+// ActiveBackend returns the backend currently serving kernel calls.
+func ActiveBackend() Backend { return Backend(active.Load()) }
+
+// SetBackend pins the kernel backend, overriding the init-time choice. It is
+// the explicit hook for tests and benchmarks to run both paths; switching is
+// safe at any time (kernels read the backend atomically per call), though
+// callers comparing outputs should not switch mid-operation. Requesting AVX2
+// on a host (or in a process) where it is unavailable returns an error and
+// leaves the active backend unchanged.
+func SetBackend(b Backend) error {
+	switch b {
+	case Scalar:
+		active.Store(int32(Scalar))
+		return nil
+	case AVX2:
+		if !simdAllowed {
+			if hasAVX2 {
+				return fmt.Errorf("tensor: AVX2 backend disabled by %s=scalar", BackendEnv)
+			}
+			return fmt.Errorf("tensor: AVX2 backend unsupported on this CPU")
+		}
+		active.Store(int32(AVX2))
+		return nil
+	default:
+		return fmt.Errorf("tensor: unknown backend %v", b)
+	}
+}
+
+// simdActive reports whether kernel calls should take the vector path. It
+// compiles to a single atomic load (a plain MOV on amd64), so per-call
+// dispatch costs nothing measurable even for short vectors.
+func simdActive() bool { return active.Load() == int32(AVX2) }

@@ -1,0 +1,27 @@
+// CPUID/XGETBV probes for runtime SIMD feature detection. Hand-rolled so the
+// module stays dependency-free (the alternative is golang.org/x/sys/cpu,
+// which does exactly this underneath).
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+//
+// Reads XCR0, the OS-enabled extended-state mask. Callers must have checked
+// CPUID.1:ECX.OSXSAVE first or this faults.
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+// detectAVX2FMA is the non-amd64 stub: the AVX2 backend only exists on
+// amd64, so detection is constant-false and dispatch always stays scalar.
+func detectAVX2FMA() bool { return false }

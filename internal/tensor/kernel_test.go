@@ -37,6 +37,7 @@ var gemmShapes = []struct{ m, k, n int }{
 }
 
 func TestMatMulBlockedMatchesReferenceBitForBit(t *testing.T) {
+	pinBackend(t, Scalar)
 	rng := rand.New(rand.NewSource(11))
 	for _, s := range gemmShapes {
 		a := RandUniform(rng, s.m, s.k, 1)
@@ -54,6 +55,7 @@ func TestMatMulBlockedMatchesReferenceBitForBit(t *testing.T) {
 }
 
 func TestMatMulAddBiasIntoMatchesReferenceBitForBit(t *testing.T) {
+	pinBackend(t, Scalar)
 	rng := rand.New(rand.NewSource(12))
 	for _, s := range gemmShapes {
 		a := RandUniform(rng, s.m, s.k, 1)
@@ -75,6 +77,7 @@ func TestMatMulAddBiasIntoMatchesReferenceBitForBit(t *testing.T) {
 // (ReLU activations are full of them) — the case where a zero-skipping
 // shortcut could diverge in the signed-zero corner.
 func TestMatMulWithExactZeros(t *testing.T) {
+	pinBackend(t, Scalar)
 	rng := rand.New(rand.NewSource(13))
 	a := RandUniform(rng, 6, 37, 1)
 	for i := 0; i < len(a.Data); i += 3 {
@@ -131,6 +134,7 @@ func TestTransposeShapeEdgeCases(t *testing.T) {
 }
 
 func TestDotAndAXPYUnrolledMatchNaive(t *testing.T) {
+	pinBackend(t, Scalar)
 	rng := rand.New(rand.NewSource(15))
 	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 100, 101} {
 		a := make([]float32, n)

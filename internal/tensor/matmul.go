@@ -84,9 +84,22 @@ func checkMatMulBias(a, w, bias *Tensor) {
 // rowChunk bounds the per-call stack footprint of the row classifier.
 const rowChunk = 1024
 
-// matMulAccum accumulates a × b into out (out += a·b). It is the blocked,
-// sparsity-adaptive production kernel. For every (row, k-tile) pair it
-// counts the row's exact zeros once and picks one of two paths:
+// matMulAccum accumulates a × b into out (out += a·b), dispatching to the
+// active backend: the scalar blocked kernel below (the bit-exact reference
+// path) or the AVX2+FMA kernels in simd_amd64.s (tolerance tier — FMA and
+// per-block chain interleaving change accumulation order).
+func matMulAccum(out, a, b *Tensor) {
+	if simdActive() {
+		matMulAccumSIMD(out, a, b)
+		return
+	}
+	matMulAccumScalar(out, a, b)
+}
+
+// matMulAccumScalar accumulates a × b into out (out += a·b). It is the
+// blocked, sparsity-adaptive scalar production kernel. For every (row,
+// k-tile) pair it counts the row's exact zeros once and picks one of two
+// paths:
 //
 //   - Dense rows take a branch-free register kernel: output columns in
 //     strips of nrBlock held in registers across the tile, reading from a
@@ -107,7 +120,7 @@ const rowChunk = 1024
 // exact zeros instead of branching on them; x + 0·w == x in every rounding
 // mode for finite w, signs included, because no partial sum here can be
 // negative zero).
-func matMulAccum(out, a, b *Tensor) {
+func matMulAccumScalar(out, a, b *Tensor) {
 	m, kDim, n := a.Rows, a.Cols, b.Cols
 	if n == 0 || kDim == 0 {
 		return
@@ -329,13 +342,17 @@ func TransposeInto(dst, t *Tensor) *Tensor {
 	return dst
 }
 
-// Dot returns the inner product of two equal-length vectors. The loop is
-// unrolled by four with a single accumulator, preserving the sequential
-// summation order of the naive loop (bit-identical results) while cutting
-// loop overhead.
+// Dot returns the inner product of two equal-length vectors, dispatching to
+// the active backend. The scalar path is unrolled by four with a single
+// accumulator, preserving the sequential summation order of the naive loop
+// (bit-identical results) while cutting loop overhead; the AVX2 path sums in
+// four 8-wide accumulators (tolerance tier).
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	if simdActive() {
+		return dotSIMD(a, b)
 	}
 	var s float32
 	i := 0
@@ -351,12 +368,17 @@ func Dot(a, b []float32) float32 {
 	return s
 }
 
-// AddTo accumulates y += x elementwise over equal-length vectors, unrolled
-// by four — the pooling primitive of the embedding bag. Elements are
-// independent, so unrolling cannot change results.
+// AddTo accumulates y += x elementwise over equal-length vectors — the
+// pooling primitive of the embedding bag. Elements are independent and both
+// backends apply one add per element, so AddTo is bit-identical under scalar
+// and SIMD dispatch.
 func AddTo(y, x []float32) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: AddTo length mismatch %d vs %d", len(y), len(x)))
+	}
+	if simdActive() {
+		addToSIMD(y, x)
+		return
 	}
 	i := 0
 	for ; i+4 <= len(x); i += 4 {
@@ -389,12 +411,17 @@ func axpy4(y []float32, a0 float32, x0 []float32, a1 float32, x1 []float32, a2 f
 	}
 }
 
-// AXPY accumulates y += alpha·x elementwise over equal-length vectors,
-// unrolled by four. Elements are independent, so unrolling cannot change
-// results.
+// AXPY accumulates y += alpha·x elementwise over equal-length vectors.
+// Elements are independent; the scalar path rounds the multiply and add
+// separately while the AVX2 path fuses them (one rounding), so AXPY is in
+// the tolerance tier under SIMD dispatch.
 func AXPY(alpha float32, x, y []float32) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: AXPY length mismatch %d vs %d", len(x), len(y)))
+	}
+	if simdActive() {
+		axpySIMD(alpha, x, y)
+		return
 	}
 	i := 0
 	for ; i+4 <= len(x); i += 4 {
@@ -405,5 +432,39 @@ func AXPY(alpha float32, x, y []float32) {
 	}
 	for ; i < len(x); i++ {
 		y[i] += alpha * x[i]
+	}
+}
+
+// AddTo8 accumulates eight source rows into dst in one fused pass: for each
+// element j, dst[j] += s0[j]; dst[j] += s1[j]; … dst[j] += s7[j], in that
+// order. It is the embedding bag's eight-row pooling kernel, hoisted here so
+// it dispatches with the rest of the backend: the AVX2 path applies the same
+// per-element source order with vector adds (no multiplies), so AddTo8 is
+// bit-identical across backends. Every source must be at least len(dst)
+// long; callers slice sources to the destination width.
+func AddTo8(dst []float32, s0, s1, s2, s3, s4, s5, s6, s7 []float32) {
+	s0 = s0[:len(dst)]
+	s1 = s1[:len(dst)]
+	s2 = s2[:len(dst)]
+	s3 = s3[:len(dst)]
+	s4 = s4[:len(dst)]
+	s5 = s5[:len(dst)]
+	s6 = s6[:len(dst)]
+	s7 = s7[:len(dst)]
+	if simdActive() {
+		addTo8SIMD(dst, s0, s1, s2, s3, s4, s5, s6, s7)
+		return
+	}
+	for j := range dst {
+		v := dst[j]
+		v += s0[j]
+		v += s1[j]
+		v += s2[j]
+		v += s3[j]
+		v += s4[j]
+		v += s5[j]
+		v += s6[j]
+		v += s7[j]
+		dst[j] = v
 	}
 }

@@ -1,0 +1,141 @@
+package tensor
+
+// Assembly kernels (simd_amd64.s). None of them retain or escape their
+// operand pointers.
+
+//go:noescape
+func dotAVX2(a, b []float32) float32
+
+//go:noescape
+func axpyAVX2(alpha float32, x, y []float32)
+
+//go:noescape
+func addToAVX2(y, x []float32)
+
+//go:noescape
+func addTo8AVX2(dst *float32, n int, s0, s1, s2, s3, s4, s5, s6, s7 *float32)
+
+//go:noescape
+func gemm4x16(c *float32, ldc int, a *float32, lda int, p *float32, ldp, kc int)
+
+//go:noescape
+func gemm1x16(c *float32, a *float32, p *float32, ldp, kc int)
+
+//go:noescape
+func gemm4x8(c *float32, ldc int, a *float32, lda int, p *float32, ldp, kc int)
+
+//go:noescape
+func gemm1x8(c *float32, a *float32, p *float32, ldp, kc int)
+
+func dotSIMD(a, b []float32) float32 { return dotAVX2(a, b) }
+
+func axpySIMD(alpha float32, x, y []float32) { axpyAVX2(alpha, x, y) }
+
+func addToSIMD(y, x []float32) { addToAVX2(y, x) }
+
+// addTo8SIMD pools eight source rows into dst: the assembly kernel covers the
+// 8-aligned prefix, the Go loop the (at most 7-element) tail, both in the
+// scalar path's per-element source order — bit-identical across backends.
+func addTo8SIMD(dst []float32, s0, s1, s2, s3, s4, s5, s6, s7 []float32) {
+	n := len(dst)
+	if m := n &^ 7; m > 0 {
+		addTo8AVX2(&dst[0], m, &s0[0], &s1[0], &s2[0], &s3[0], &s4[0], &s5[0], &s6[0], &s7[0])
+	}
+	for j := n &^ 7; j < n; j++ {
+		v := dst[j]
+		v += s0[j]
+		v += s1[j]
+		v += s2[j]
+		v += s3[j]
+		v += s4[j]
+		v += s5[j]
+		v += s6[j]
+		v += s7[j]
+		dst[j] = v
+	}
+}
+
+// SIMD GEMM blocking parameters. The vector path packs b into kc-deep strips
+// of 16 (or 8) columns: 256×16 floats = 16 KiB, sized so the panel plus the
+// four active a-row tiles stay L1-resident. Unlike the scalar path there is
+// no sparse-row classification — at 8 lanes × 2 FMA ports the dense kernel
+// outruns the zero-skip even on ReLU-sparse (~50% zero) activations, and
+// multiplying by an exact zero is still exact.
+const (
+	kcSIMD = 256
+	ncSIMD = 16
+)
+
+// matMulAccumSIMD accumulates a × b into out (out += a·b) on the AVX2+FMA
+// kernels. Accumulation order differs from the scalar backend (FMA fuses the
+// rounding; the micro-kernels interleave k-chains per output block), so this
+// path is pinned by the tolerance-based differential tests, not bit equality.
+func matMulAccumSIMD(out, a, b *Tensor) {
+	m, kDim, n := a.Rows, a.Cols, b.Cols
+	if n == 0 || kDim == 0 || m == 0 {
+		return
+	}
+	var pack [kcSIMD * ncSIMD]float32
+	for k0 := 0; k0 < kDim; k0 += kcSIMD {
+		k1 := k0 + kcSIMD
+		if k1 > kDim {
+			k1 = kDim
+		}
+		kc := k1 - k0
+		// Packing a strip costs one pass over it; it pays off once enough
+		// rows of a stream against the packed copy (same crossover as the
+		// scalar path's packMinRows). Below that, the kernels read b in
+		// place with ldp = n.
+		usePack := m >= packMinRows
+
+		j := 0
+		for ; j+ncSIMD <= n; j += ncSIMD {
+			p, ldp := &b.Data[k0*n+j], n
+			if usePack {
+				pk := 0
+				for k := k0; k < k1; k++ {
+					copy(pack[pk:pk+ncSIMD], b.Data[k*n+j:k*n+j+ncSIMD])
+					pk += ncSIMD
+				}
+				p, ldp = &pack[0], ncSIMD
+			}
+			i := 0
+			for ; i+4 <= m; i += 4 {
+				gemm4x16(&out.Data[i*n+j], n, &a.Data[i*kDim+k0], kDim, p, ldp, kc)
+			}
+			for ; i < m; i++ {
+				gemm1x16(&out.Data[i*n+j], &a.Data[i*kDim+k0], p, ldp, kc)
+			}
+		}
+		for ; j+8 <= n; j += 8 {
+			p, ldp := &b.Data[k0*n+j], n
+			if usePack {
+				pk := 0
+				for k := k0; k < k1; k++ {
+					copy(pack[pk:pk+8], b.Data[k*n+j:k*n+j+8])
+					pk += 8
+				}
+				p, ldp = &pack[0], 8
+			}
+			i := 0
+			for ; i+4 <= m; i += 4 {
+				gemm4x8(&out.Data[i*n+j], n, &a.Data[i*kDim+k0], kDim, p, ldp, kc)
+			}
+			for ; i < m; i++ {
+				gemm1x8(&out.Data[i*n+j], &a.Data[i*kDim+k0], p, ldp, kc)
+			}
+		}
+		// Scalar column tail (< 8 columns): same loop as the scalar
+		// backend's tail, a few columns at most.
+		for jj := j; jj < n; jj++ {
+			for i := 0; i < m; i++ {
+				aRow := a.Row(i)
+				c := out.Data[i*n+jj]
+				for k := k0; k < k1; k++ {
+					c += aRow[k] * b.Data[k*n+jj]
+				}
+				out.Data[i*n+jj] = c
+			}
+		}
+	}
+}

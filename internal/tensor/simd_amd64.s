@@ -1,0 +1,445 @@
+// AVX2+FMA kernels for the vector backend. Every function here is a leaf
+// (NOSPLIT, no calls back into Go) operating on caller-pinned slices, so the
+// only ABI obligations are the ABI0 argument frame and VZEROUPPER before
+// returning to SSE-era code.
+//
+// Numerical contract (see backend.go): these kernels use fused multiply-add
+// and, for Dot, multiple accumulators — both change rounding/accumulation
+// order versus the scalar backend, which is why the vector tier is pinned by
+// tolerance-based differential tests rather than bit equality. addTo8AVX2 and
+// addToAVX2 contain no multiplies and preserve per-element add order, so they
+// remain bit-identical to scalar.
+
+#include "textflag.h"
+
+// func dotAVX2(a, b []float32) float32
+//
+// Four 8-wide accumulators hide the 4-cycle FMA latency (the scalar backend's
+// single running sum is the dependence chain that caps it at ~1 FLOP/cycle);
+// they are combined pairwise and reduced horizontally at the end.
+TEXT ·dotAVX2(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ CX, AX
+	SHRQ $5, AX
+	JZ   dot8
+
+dot32:
+	VMOVUPS (SI), Y4
+	VMOVUPS 32(SI), Y5
+	VMOVUPS 64(SI), Y6
+	VMOVUPS 96(SI), Y7
+	VFMADD231PS (DI), Y4, Y0
+	VFMADD231PS 32(DI), Y5, Y1
+	VFMADD231PS 64(DI), Y6, Y2
+	VFMADD231PS 96(DI), Y7, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ AX
+	JNZ  dot32
+
+dot8:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	MOVQ   CX, AX
+	ANDQ   $31, AX
+	SHRQ   $3, AX
+	JZ     dothsum
+
+dot8loop:
+	VMOVUPS (SI), Y4
+	VFMADD231PS (DI), Y4, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ AX
+	JNZ  dot8loop
+
+dothsum:
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS  X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	MOVQ    CX, AX
+	ANDQ    $7, AX
+	JZ      dotdone
+
+dotscalar:
+	VMOVSS (SI), X2
+	VFMADD231SS (DI), X2, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ AX
+	JNZ  dotscalar
+
+dotdone:
+	VMOVSS X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func axpyAVX2(alpha float32, x, y []float32)
+//
+// y += alpha·x, 32 elements per main iteration. Elements are independent, so
+// the only numerical difference from scalar is the fused rounding of each
+// multiply-add (the scalar tail uses scalar FMA for the same reason).
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-56
+	VBROADCASTSS alpha+0(FP), Y0
+	MOVQ x_base+8(FP), SI
+	MOVQ x_len+16(FP), CX
+	MOVQ y_base+32(FP), DI
+	MOVQ CX, AX
+	SHRQ $5, AX
+	JZ   axpy8
+
+axpy32:
+	VMOVUPS (DI), Y1
+	VMOVUPS 32(DI), Y2
+	VMOVUPS 64(DI), Y3
+	VMOVUPS 96(DI), Y4
+	VFMADD231PS (SI), Y0, Y1
+	VFMADD231PS 32(SI), Y0, Y2
+	VFMADD231PS 64(SI), Y0, Y3
+	VFMADD231PS 96(SI), Y0, Y4
+	VMOVUPS Y1, (DI)
+	VMOVUPS Y2, 32(DI)
+	VMOVUPS Y3, 64(DI)
+	VMOVUPS Y4, 96(DI)
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ AX
+	JNZ  axpy32
+
+axpy8:
+	MOVQ CX, AX
+	ANDQ $31, AX
+	SHRQ $3, AX
+	JZ   axpytail
+
+axpy8loop:
+	VMOVUPS (DI), Y1
+	VFMADD231PS (SI), Y0, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ AX
+	JNZ  axpy8loop
+
+axpytail:
+	MOVQ CX, AX
+	ANDQ $7, AX
+	JZ   axpydone
+
+axpyscalar:
+	VMOVSS (DI), X1
+	VFMADD231SS (SI), X0, X1
+	VMOVSS X1, (DI)
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ AX
+	JNZ  axpyscalar
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// func addToAVX2(y, x []float32)
+//
+// y += x elementwise. Pure adds — bit-identical to the scalar backend.
+TEXT ·addToAVX2(SB), NOSPLIT, $0-48
+	MOVQ y_base+0(FP), DI
+	MOVQ y_len+8(FP), CX
+	MOVQ x_base+24(FP), SI
+	MOVQ CX, AX
+	SHRQ $5, AX
+	JZ   add8
+
+add32:
+	VMOVUPS (DI), Y1
+	VMOVUPS 32(DI), Y2
+	VMOVUPS 64(DI), Y3
+	VMOVUPS 96(DI), Y4
+	VADDPS  (SI), Y1, Y1
+	VADDPS  32(SI), Y2, Y2
+	VADDPS  64(SI), Y3, Y3
+	VADDPS  96(SI), Y4, Y4
+	VMOVUPS Y1, (DI)
+	VMOVUPS Y2, 32(DI)
+	VMOVUPS Y3, 64(DI)
+	VMOVUPS Y4, 96(DI)
+	ADDQ    $128, SI
+	ADDQ    $128, DI
+	DECQ    AX
+	JNZ     add32
+
+add8:
+	MOVQ CX, AX
+	ANDQ $31, AX
+	SHRQ $3, AX
+	JZ   addtail
+
+add8loop:
+	VMOVUPS (DI), Y1
+	VADDPS  (SI), Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    AX
+	JNZ     add8loop
+
+addtail:
+	MOVQ CX, AX
+	ANDQ $7, AX
+	JZ   adddone
+
+addscalar:
+	VMOVSS (DI), X1
+	VADDSS (SI), X1, X1
+	VMOVSS X1, (DI)
+	ADDQ   $4, SI
+	ADDQ   $4, DI
+	DECQ   AX
+	JNZ    addscalar
+
+adddone:
+	VZEROUPPER
+	RET
+
+// func addTo8AVX2(dst *float32, n int, s0, s1, s2, s3, s4, s5, s6, s7 *float32)
+//
+// The embedding-bag pooling primitive: dst[j] += s0[j] + … + s7[j] for the
+// first n (a multiple of 8; the Go wrapper finishes the tail) elements, adds
+// applied in source order per element — the exact accumulation order of the
+// scalar fused pooling loop, so results are bit-identical across backends.
+// One dst load/store per 8 elements instead of 8, with the eight gathered
+// rows streaming through a single vector chain.
+TEXT ·addTo8AVX2(SB), NOSPLIT, $0-80
+	MOVQ dst+0(FP), DI
+	MOVQ n+8(FP), CX
+	MOVQ s0+16(FP), SI
+	MOVQ s1+24(FP), BX
+	MOVQ s2+32(FP), DX
+	MOVQ s3+40(FP), R8
+	MOVQ s4+48(FP), R9
+	MOVQ s5+56(FP), R10
+	MOVQ s6+64(FP), R11
+	MOVQ s7+72(FP), R12
+	SHRQ $3, CX
+	JZ   pool8done
+
+pool8loop:
+	VMOVUPS (DI), Y0
+	VADDPS  (SI), Y0, Y0
+	VADDPS  (BX), Y0, Y0
+	VADDPS  (DX), Y0, Y0
+	VADDPS  (R8), Y0, Y0
+	VADDPS  (R9), Y0, Y0
+	VADDPS  (R10), Y0, Y0
+	VADDPS  (R11), Y0, Y0
+	VADDPS  (R12), Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	ADDQ    $32, BX
+	ADDQ    $32, DX
+	ADDQ    $32, R8
+	ADDQ    $32, R9
+	ADDQ    $32, R10
+	ADDQ    $32, R11
+	ADDQ    $32, R12
+	DECQ    CX
+	JNZ     pool8loop
+
+pool8done:
+	VZEROUPPER
+	RET
+
+// GEMM micro-kernels. All accumulate into c (c += a·p): the caller seeds c
+// with zeros (MatMulInto) or the broadcast bias row (MatMulAddBiasInto).
+// p is a kc-row panel of b with row stride ldp elements — either a packed
+// L1-resident copy (ldp = strip width) or b itself (ldp = b.Cols) when too
+// few rows share the strip to amortize packing. ldc/lda are row strides of
+// c/a in elements.
+
+// func gemm4x16(c *float32, ldc int, a *float32, lda int, p *float32, ldp, kc int)
+//
+// The main kernel: a 4-row × 16-column block of c lives in 8 YMM accumulators
+// across the whole k-tile. Per k step: 2 panel loads, 4 broadcasts, 8 FMAs —
+// eight independent accumulation chains, enough to keep both FMA ports busy
+// (the scalar ceiling this backend exists to break is one mul-add chain).
+TEXT ·gemm4x16(SB), NOSPLIT, $0-56
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), DX
+	SHLQ $2, DX
+	MOVQ a+16(FP), SI
+	MOVQ lda+24(FP), CX
+	SHLQ $2, CX
+	MOVQ p+32(FP), BX
+	LEAQ (SI)(CX*1), R11
+	LEAQ (SI)(CX*2), R12
+	LEAQ (R11)(CX*2), R13
+	MOVQ ldp+40(FP), CX
+	SHLQ $2, CX
+	MOVQ kc+48(FP), AX
+	LEAQ (DI)(DX*1), R8
+	LEAQ (DI)(DX*2), R9
+	LEAQ (R8)(DX*2), R10
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS (R8), Y2
+	VMOVUPS 32(R8), Y3
+	VMOVUPS (R9), Y4
+	VMOVUPS 32(R9), Y5
+	VMOVUPS (R10), Y6
+	VMOVUPS 32(R10), Y7
+	TESTQ   AX, AX
+	JZ      g4x16done
+
+g4x16loop:
+	VMOVUPS (BX), Y12
+	VMOVUPS 32(BX), Y13
+	VBROADCASTSS (SI), Y14
+	VBROADCASTSS (R11), Y15
+	VFMADD231PS Y12, Y14, Y0
+	VFMADD231PS Y13, Y14, Y1
+	VFMADD231PS Y12, Y15, Y2
+	VFMADD231PS Y13, Y15, Y3
+	VBROADCASTSS (R12), Y14
+	VBROADCASTSS (R13), Y15
+	VFMADD231PS Y12, Y14, Y4
+	VFMADD231PS Y13, Y14, Y5
+	VFMADD231PS Y12, Y15, Y6
+	VFMADD231PS Y13, Y15, Y7
+	ADDQ CX, BX
+	ADDQ $4, SI
+	ADDQ $4, R11
+	ADDQ $4, R12
+	ADDQ $4, R13
+	DECQ AX
+	JNZ  g4x16loop
+
+g4x16done:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, (R8)
+	VMOVUPS Y3, 32(R8)
+	VMOVUPS Y4, (R9)
+	VMOVUPS Y5, 32(R9)
+	VMOVUPS Y6, (R10)
+	VMOVUPS Y7, 32(R10)
+	VZEROUPPER
+	RET
+
+// func gemm1x16(c *float32, a *float32, p *float32, ldp, kc int)
+//
+// Row tail (m mod 4) of the 16-wide strips: one row, two accumulators.
+TEXT ·gemm1x16(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ p+16(FP), BX
+	MOVQ ldp+24(FP), CX
+	SHLQ $2, CX
+	MOVQ kc+32(FP), AX
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	TESTQ   AX, AX
+	JZ      g1x16done
+
+g1x16loop:
+	VBROADCASTSS (SI), Y14
+	VFMADD231PS (BX), Y14, Y0
+	VFMADD231PS 32(BX), Y14, Y1
+	ADDQ CX, BX
+	ADDQ $4, SI
+	DECQ AX
+	JNZ  g1x16loop
+
+g1x16done:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VZEROUPPER
+	RET
+
+// func gemm4x8(c *float32, ldc int, a *float32, lda int, p *float32, ldp, kc int)
+//
+// Column tail (8 ≤ cols < 16): 4 rows × 8 columns, four accumulators.
+TEXT ·gemm4x8(SB), NOSPLIT, $0-56
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), DX
+	SHLQ $2, DX
+	MOVQ a+16(FP), SI
+	MOVQ lda+24(FP), CX
+	SHLQ $2, CX
+	MOVQ p+32(FP), BX
+	LEAQ (SI)(CX*1), R11
+	LEAQ (SI)(CX*2), R12
+	LEAQ (R11)(CX*2), R13
+	MOVQ ldp+40(FP), CX
+	SHLQ $2, CX
+	MOVQ kc+48(FP), AX
+	LEAQ (DI)(DX*1), R8
+	LEAQ (DI)(DX*2), R9
+	LEAQ (R8)(DX*2), R10
+	VMOVUPS (DI), Y0
+	VMOVUPS (R8), Y1
+	VMOVUPS (R9), Y2
+	VMOVUPS (R10), Y3
+	TESTQ   AX, AX
+	JZ      g4x8done
+
+g4x8loop:
+	VMOVUPS (BX), Y12
+	VBROADCASTSS (SI), Y14
+	VBROADCASTSS (R11), Y15
+	VFMADD231PS Y12, Y14, Y0
+	VFMADD231PS Y12, Y15, Y1
+	VBROADCASTSS (R12), Y14
+	VBROADCASTSS (R13), Y15
+	VFMADD231PS Y12, Y14, Y2
+	VFMADD231PS Y12, Y15, Y3
+	ADDQ CX, BX
+	ADDQ $4, SI
+	ADDQ $4, R11
+	ADDQ $4, R12
+	ADDQ $4, R13
+	DECQ AX
+	JNZ  g4x8loop
+
+g4x8done:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, (R8)
+	VMOVUPS Y2, (R9)
+	VMOVUPS Y3, (R10)
+	VZEROUPPER
+	RET
+
+// func gemm1x8(c *float32, a *float32, p *float32, ldp, kc int)
+//
+// Row tail of the 8-wide strips: one row, one accumulator.
+TEXT ·gemm1x8(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ p+16(FP), BX
+	MOVQ ldp+24(FP), CX
+	SHLQ $2, CX
+	MOVQ kc+32(FP), AX
+	VMOVUPS (DI), Y0
+	TESTQ   AX, AX
+	JZ      g1x8done
+
+g1x8loop:
+	VBROADCASTSS (SI), Y14
+	VFMADD231PS (BX), Y14, Y0
+	ADDQ CX, BX
+	ADDQ $4, SI
+	DECQ AX
+	JNZ  g1x8loop
+
+g1x8done:
+	VMOVUPS Y0, (DI)
+	VZEROUPPER
+	RET

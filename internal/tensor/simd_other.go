@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 stubs. detectAVX2FMA is constant-false off amd64, so simdActive
+// can never be true and none of these are reachable; they exist only to keep
+// the dispatchers portable.
+
+func dotSIMD(a, b []float32) float32 { panic("tensor: SIMD backend unavailable") }
+
+func axpySIMD(alpha float32, x, y []float32) { panic("tensor: SIMD backend unavailable") }
+
+func addToSIMD(y, x []float32) { panic("tensor: SIMD backend unavailable") }
+
+func addTo8SIMD(dst []float32, s0, s1, s2, s3, s4, s5, s6, s7 []float32) {
+	panic("tensor: SIMD backend unavailable")
+}
+
+func matMulAccumSIMD(out, a, b *Tensor) { panic("tensor: SIMD backend unavailable") }
