@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	deeprecsys "github.com/deeprecinfra/deeprecsys"
@@ -51,6 +52,8 @@ func serveMain(args []string) {
 	store := fs.String("store", "", "embedding-store spec: dense, synth, or mmap:<dir> (files from `deeprecsys tables gen`), each optionally +\",cache=lru:<cap>\" or \",cache=lfu:<cap>\" (\"\" = classic in-memory tables)")
 	access := fs.String("access", "", "sparse-index popularity: uniform or zipf[:<s>[,<v>]] hot-row skew (\"\" = uniform)")
 	shardTables := fs.Bool("shard-tables", false, "shard the embedding-row space across the fleet's replicas (needs -store and -replicas >= 2)")
+	listen := fs.String("listen", "", "serve over HTTP on this address (e.g. 127.0.0.1:8080; port 0 picks one) until SIGINT/SIGTERM instead of driving a local workload; shutdown drains gracefully and prints the final report")
+	remote := fs.String("remote", "", "comma-separated http://host:port targets of `deeprecsys serve -listen` processes to join as fleet replicas (needs -replicas >= 2)")
 	topn := fs.Int("topn", 0, "ranked items to return per query (0 = latency only)")
 	tracePath := fs.String("trace", "", "replay a loadgen CSV trace ('-' = stdin)")
 	wl := fs.String("workload", "production", "workload spec to generate the drive stream (ignored with -trace)")
@@ -85,20 +88,24 @@ func serveMain(args []string) {
 		fmt.Fprintln(os.Stderr, "serve: -trace cannot drive -tenants (each tenant generates its own stream)")
 		os.Exit(2)
 	}
+	// -listen serves queries arriving over the wire; generating a local
+	// drive stream would be wasted work.
 	var queries []drivenQuery
-	if len(specs) > 0 {
-		queries, err = tenantStreams(specs, *wl, *arrivals, *rate, *n, *seed)
-	} else {
-		var qs []workload.Query
-		qs, err = driveStream(*tracePath, *wl, *arrivals, *rate, *n, *seed)
-		queries = make([]drivenQuery, len(qs))
-		for i, q := range qs {
-			queries[i] = drivenQuery{arrival: q.Arrival, size: q.Size}
+	if *listen == "" {
+		if len(specs) > 0 {
+			queries, err = tenantStreams(specs, *wl, *arrivals, *rate, *n, *seed)
+		} else {
+			var qs []workload.Query
+			qs, err = driveStream(*tracePath, *wl, *arrivals, *rate, *n, *seed)
+			queries = make([]drivenQuery, len(qs))
+			for i, q := range qs {
+				queries[i] = drivenQuery{arrival: q.Arrival, size: q.Size}
+			}
 		}
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	if *threshold > 0 && !*gpu {
@@ -111,6 +118,10 @@ func serveMain(args []string) {
 	}
 	if *replicas < 2 && (*jitter != 0 || *gpuReplicas != 0 || *policy != "round-robin") {
 		fmt.Fprintln(os.Stderr, "serve: -policy, -jitter, and -gpu-replicas need -replicas >= 2")
+		os.Exit(2)
+	}
+	if *remote != "" && *replicas < 2 {
+		fmt.Fprintln(os.Stderr, "serve: -remote joins replicas into a fleet (needs -replicas >= 2)")
 		os.Exit(2)
 	}
 	minReplicas, maxReplicas, doScale, err := parseAutoscale(*autoscale)
@@ -168,8 +179,31 @@ func serveMain(args []string) {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM joins SIGINT: a supervisor's stop order gets the same
+	// graceful drain as an operator's ^C.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *remote != "" {
+		for _, target := range strings.Split(*remote, ",") {
+			target = strings.TrimSpace(target)
+			if target == "" {
+				continue
+			}
+			id, err := svc.AddRemoteReplica(target)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: joining %s: %v\n", target, err)
+				svc.Close()
+				os.Exit(2)
+			}
+			fmt.Printf("joined remote replica %d at %s\n", id, target)
+		}
+	}
+
+	if *listen != "" {
+		listenMode(ctx, svc, *listen, *modelName, len(specs))
+		return
+	}
 
 	st := svc.Stats()
 	switch {
@@ -345,6 +379,82 @@ drive:
 	} else {
 		fmt.Printf("VIOLATES the %v p95 SLA\n", final.SLA)
 	}
+}
+
+// listenMode publishes the service on the wire and serves until SIGINT or
+// SIGTERM, then drains gracefully — the listener refuses new work while
+// in-flight requests finish, the service flushes its queues — and prints
+// the final report. This is the long-running server the driven mode is
+// not: it exits only on a stop signal, never because a workload ran dry.
+func listenMode(ctx context.Context, svc *deeprecsys.Service, addr, modelName string, tenants int) {
+	srv, err := svc.StartHTTP(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		svc.Close()
+		os.Exit(2)
+	}
+	st := svc.Stats()
+	if tenants > 0 {
+		fmt.Printf("listening on http://%s: %d tenants, %d replicas (stop with SIGINT/SIGTERM)\n",
+			srv.Addr(), tenants, st.Replicas)
+	} else {
+		fmt.Printf("listening on http://%s: serving %s, %d replicas, p95 target %v (stop with SIGINT/SIGTERM)\n",
+			srv.Addr(), modelName, st.Replicas, st.SLA)
+	}
+
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for serving := true; serving; {
+		select {
+		case <-ctx.Done():
+			serving = false
+		case <-ticker.C:
+			s := svc.Stats()
+			if s.Submitted == 0 {
+				continue // nothing to report until traffic arrives
+			}
+			line := fmt.Sprintf("  %6d done  batch %4d", s.Completed, s.BatchSize)
+			if shed := s.Shed + s.ShedDeadline; shed > 0 {
+				line += fmt.Sprintf("  shed %5d", shed)
+			}
+			fmt.Printf("%s  online p50 %-12v p95 %v\n",
+				line, s.P50.Round(10*time.Microsecond), s.P95.Round(10*time.Microsecond))
+		}
+	}
+
+	fmt.Println("stop signal: draining (new requests refused, in-flight finishing)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	final := svc.Stats()
+	closeErr := svc.Close()
+	wire := srv.Counters()
+
+	fmt.Printf("served %d queries (%d submitted) over the wire\n", final.Completed, final.Submitted)
+	if final.WindowLen > 0 {
+		fmt.Printf("online latency: p50 %v  p95 %v  (window of last %d)\n",
+			final.P50.Round(10*time.Microsecond), final.P95.Round(10*time.Microsecond), final.WindowLen)
+	}
+	fmt.Printf("wire: %d requests, %d ok, %d overloaded, %d deadline, %d draining, %d down, %d cancelled, %d bad\n",
+		wire.Requests, wire.OK, wire.Overloaded, wire.Deadline, wire.Draining, wire.Down, wire.Cancelled, wire.BadRequest)
+	if shed := final.Shed + final.ShedDeadline + final.Abandoned; shed > 0 {
+		fmt.Printf("admission: %d shed overloaded (%d evicted), %d shed on deadline, %d abandoned at close\n",
+			final.Shed, final.Evicted, final.ShedDeadline, final.Abandoned)
+	}
+	for _, t := range final.Tenants {
+		fmt.Printf("tenant %s: %d submitted, %d completed, %d shed, p95 %v (sla %v)\n",
+			t.Name, t.Submitted, t.Completed, t.Shed+t.ShedDeadline+t.CapShed,
+			t.P95.Round(10*time.Microsecond), t.SLA)
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "serve: drain:", drainErr)
+		os.Exit(1)
+	}
+	if closeErr != nil {
+		fmt.Fprintln(os.Stderr, "serve:", closeErr)
+		os.Exit(1)
+	}
+	fmt.Println("drained cleanly")
 }
 
 // drivenQuery is one query of the drive stream: an arrival offset, a size,

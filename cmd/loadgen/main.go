@@ -4,6 +4,13 @@
 // serving stacks — or `deeprecsys serve` — with the paper's arrival and
 // working-set-size distributions.
 //
+// With -target it becomes a live open-loop driver instead: the same
+// generated stream is submitted over the wire to a `deeprecsys serve
+// -listen` process (or anything speaking the /v1/recommend protocol),
+// with deadline propagation, retries, optional hedging, and optional
+// injected network chaos, reporting client-observed latency and the wire
+// ledger at the end.
+//
 // The -dist grammar is the shared workload spec format, documented
 // canonically on deeprecsys.ParseWorkload (production,
 // lognormal[:<mu>,<sigma>], normal[:<mean>,<stddev>], fixed:<n>).
@@ -12,13 +19,22 @@
 //
 //	loadgen -rate 1000 -n 10000 -dist production > trace.csv
 //	loadgen -rate 500 -dist lognormal:4.0,0.9 -seed 7
+//	loadgen -target http://127.0.0.1:8080 -rate 200 -n 2000 -arrivals diurnal:0.5,10s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
+	"github.com/deeprecinfra/deeprecsys/internal/rpc"
+	"github.com/deeprecinfra/deeprecsys/internal/stats"
 	"github.com/deeprecinfra/deeprecsys/internal/workload"
 )
 
@@ -28,6 +44,14 @@ func main() {
 	dist := flag.String("dist", "production", "size distribution spec: production, lognormal[:mu,sigma], normal[:mean,stddev], fixed:<n>")
 	arrivals := flag.String("arrivals", "poisson", "arrival process: poisson, uniform, diurnal:<amp>,<period>, flash:<mult>,<start>,<ramp>,<hold>,<decay>, or mmpp:<mult>,<meanLow>,<meanHigh>")
 	seed := flag.Int64("seed", 1, "random seed")
+	target := flag.String("target", "", "drive a remote server at this address (http://host:port) instead of emitting CSV")
+	topn := flag.Int("topn", 0, "ranked items to request per query (0 = latency only; needs -target)")
+	tenant := flag.String("tenant", "", "address every query to this named tenant (needs -target)")
+	deadline := flag.Duration("deadline", 0, "per-query deadline, propagated to the server (0 = none; needs -target)")
+	attempts := flag.Int("attempts", 3, "max attempts per query: connect errors and 503s retry with backoff (1 = no retry; needs -target)")
+	hedge := flag.Float64("hedge", 0, "hedged requests: fire a second request past this client-observed latency percentile, first answer wins (0 = off; needs -target)")
+	netchaos := flag.String("netchaos", "", "inject network faults into the driver's transport: netdelay:<dur>,netdrop:<p>,netreset:<p> (needs -target)")
+	speed := flag.Float64("speed", 1, "time-scale factor for -target: 2 replays arrivals twice as fast")
 	flag.Parse()
 
 	sizes, err := workload.ParseDist(*dist)
@@ -42,8 +66,129 @@ func main() {
 	}
 
 	gen := workload.NewGenerator(proc, sizes, *seed)
-	if err := workload.WriteTrace(os.Stdout, gen.Take(*n)); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	queries := gen.Take(*n)
+
+	if *target == "" {
+		if err := workload.WriteTrace(os.Stdout, queries); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *speed <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -speed must be positive")
+		os.Exit(2)
+	}
+	drive(queries, *target, *tenant, *topn, *deadline, *attempts, *hedge, *netchaos, *speed, *seed)
+}
+
+// drive replays the generated stream against a remote server, open-loop:
+// each query is submitted at its arrival offset from its own goroutine,
+// whether or not earlier ones have returned — offered load does not slow
+// down because the server is struggling, which is what makes overload
+// behavior observable.
+func drive(queries []workload.Query, target, tenant string, topn int, deadline time.Duration, attempts int, hedge float64, netchaos string, speed float64, seed int64) {
+	cfg := rpc.ClientConfig{
+		MaxAttempts:     attempts,
+		HedgePercentile: hedge,
+		Seed:            seed,
+	}
+	if netchaos != "" && netchaos != "none" {
+		nc, err := rpc.ParseNetChaos(netchaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(2)
+		}
+		nc.Seed = seed
+		cfg.Transport = nc.Transport(nil)
+	}
+	client, err := rpc.NewClient(target, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	defer client.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := client.Healthz(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %s not healthy: %v\n", target, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "driving %s: %d queries\n", target, len(queries))
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		errCounts = make(map[string]int)
+	)
+	var wg sync.WaitGroup
+	submitted := 0
+	start := time.Now()
+drive:
+	for _, q := range queries {
+		due := time.Duration(float64(q.Arrival) / speed)
+		if wait := due - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				break drive
+			}
+		}
+		submitted++
+		wg.Add(1)
+		go func(size int) {
+			defer wg.Done()
+			qctx := ctx
+			if deadline > 0 {
+				var cancel context.CancelFunc
+				qctx, cancel = context.WithTimeout(ctx, deadline)
+				defer cancel()
+			}
+			t0 := time.Now()
+			_, err := client.Recommend(qctx, rpc.RecommendRequest{Candidates: size, TopN: topn, Tenant: tenant})
+			if err == nil {
+				mu.Lock()
+				latencies = append(latencies, time.Since(t0).Seconds())
+				mu.Unlock()
+				return
+			}
+			if ctx.Err() != nil {
+				return // interrupted, not a server failure
+			}
+			code := "other"
+			var re *rpc.Error
+			if errors.As(err, &re) {
+				code = re.Code
+			}
+			mu.Lock()
+			errCounts[code]++
+			mu.Unlock()
+		}(q.Size)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := client.Stats()
+	sum := stats.Summarize(latencies)
+	fmt.Printf("drove %d/%d queries in %v (%.1f QPS achieved)\n",
+		len(latencies), submitted, elapsed.Round(time.Millisecond), float64(len(latencies))/elapsed.Seconds())
+	if sum.Count > 0 {
+		fmt.Printf("client latency: p50 %v  p95 %v  p99 %v\n",
+			time.Duration(sum.P50*float64(time.Second)).Round(10*time.Microsecond),
+			time.Duration(sum.P95*float64(time.Second)).Round(10*time.Microsecond),
+			time.Duration(sum.P99*float64(time.Second)).Round(10*time.Microsecond))
+	}
+	fmt.Printf("wire: %d attempts for %d requests, %d retries (%d denied by budget), %d hedges (%d won)\n",
+		st.Attempts, st.Requests, st.Retries, st.BudgetDenied, st.Hedges, st.HedgeWins)
+	if st.ConnectErrors+st.Resets+st.Overloaded+st.DeadlineErrors > 0 {
+		fmt.Printf("faults seen: %d connect errors, %d resets, %d overloaded, %d deadline\n",
+			st.ConnectErrors, st.Resets, st.Overloaded, st.DeadlineErrors)
+	}
+	for code, count := range errCounts {
+		fmt.Printf("failed %s: %d\n", code, count)
+	}
+	if len(latencies) == 0 && submitted > 0 {
 		os.Exit(1)
 	}
 }

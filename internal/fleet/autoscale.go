@@ -122,15 +122,16 @@ func (f *Fleet) autoscaler(cfg AutoscaleConfig) {
 	}
 }
 
-// newestHealthy returns the ID of the newest routable, healthy replica —
-// the scale-down victim (last in, first out keeps the founding replicas'
-// longer windows intact).
+// newestHealthy returns the ID of the newest routable, healthy, local
+// replica — the scale-down victim (last in, first out keeps the founding
+// replicas' longer windows intact). Remote members are never victims: the
+// fleet did not provision them, so it must not deprovision them.
 func (f *Fleet) newestHealthy() (int, bool) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	for i := len(f.replicas) - 1; i >= 0; i-- {
 		r := f.replicas[i]
-		if !r.draining && !r.removing && r.healthy() {
+		if r.local && !r.draining && !r.removing && r.healthy() {
 			return r.id, true
 		}
 	}

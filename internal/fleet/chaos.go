@@ -196,11 +196,11 @@ func (f *Fleet) chaos(cfg ChaosConfig) {
 	var slowed, spiked *replica
 	revert := func() {
 		if slowed != nil {
-			slowed.svc.SetScale(slowed.speed)
+			slowed.svc.(faulter).SetScale(slowed.speed)
 			slowed = nil
 		}
 		if spiked != nil {
-			spiked.svc.SetDelay(0)
+			spiked.svc.(faulter).SetDelay(0)
 			spiked = nil
 		}
 	}
@@ -217,26 +217,29 @@ func (f *Fleet) chaos(cfg ChaosConfig) {
 		}
 		if rng.Float64() < cfg.Slow {
 			if r := f.pickHealthy(rng); r != nil {
-				r.svc.SetScale(r.speed * cfg.SlowFactor)
+				r.svc.(faulter).SetScale(r.speed * cfg.SlowFactor)
 				slowed = r
 			}
 		}
 		if rng.Float64() < cfg.Spike {
 			if r := f.pickHealthy(rng); r != nil {
-				r.svc.SetDelay(cfg.SpikeDelay)
+				r.svc.(faulter).SetDelay(cfg.SpikeDelay)
 				spiked = r
 			}
 		}
 	}
 }
 
-// pickHealthy returns one random healthy, routable replica (nil if none).
+// pickHealthy returns one random healthy, routable, local replica (nil if
+// none). Remote members are excluded: the process-level fault classes
+// cannot reach inside another process — the network fault injector
+// (internal/rpc net chaos) breaks their wire instead.
 func (f *Fleet) pickHealthy(rng *rand.Rand) *replica {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	cands := make([]*replica, 0, len(f.replicas))
 	for _, r := range f.replicas {
-		if !r.draining && !r.removing && r.healthy() {
+		if r.local && !r.draining && !r.removing && r.healthy() {
 			cands = append(cands, r)
 		}
 	}
@@ -252,17 +255,22 @@ func (f *Fleet) pickHealthy(rng *rand.Rand) *replica {
 func (f *Fleet) crashOne(rng *rand.Rand, restartAfter time.Duration, restarts *sync.WaitGroup) {
 	f.mu.RLock()
 	cands := make([]*replica, 0, len(f.replicas))
+	healthy := 0
 	for _, r := range f.replicas {
-		if !r.draining && !r.removing && r.healthy() {
+		if r.draining || r.removing || !r.healthy() {
+			continue
+		}
+		healthy++
+		if r.local {
 			cands = append(cands, r)
 		}
 	}
 	f.mu.RUnlock()
-	if len(cands) < 2 {
+	if healthy < 2 || len(cands) == 0 {
 		return
 	}
 	victim := cands[rng.Intn(len(cands))]
-	victim.svc.Fail()
+	victim.svc.(faulter).Fail()
 	f.crashes.Add(1)
 	restarts.Add(1)
 	go func() {

@@ -121,7 +121,7 @@ func TestHealthRoutingDivertsTraffic(t *testing.T) {
 	f.mu.RLock()
 	victim, survivor := f.replicas[0], f.replicas[1]
 	f.mu.RUnlock()
-	victim.svc.Fail()
+	victim.svc.(faulter).Fail()
 
 	for i := 0; i < 10; i++ {
 		_, id, err := f.Submit(ctx, live.Query{Candidates: 20})
@@ -140,7 +140,7 @@ func TestHealthRoutingDivertsTraffic(t *testing.T) {
 		t.Errorf("per-replica failed flags = %v, %v", st.Replicas[0].Failed, st.Replicas[1].Failed)
 	}
 
-	survivor.svc.Fail()
+	survivor.svc.(faulter).Fail()
 	if _, _, err := f.Submit(ctx, live.Query{Candidates: 20}); !errors.Is(err, ErrNoHealthyReplica) {
 		t.Fatalf("submit with no healthy replica = %v, want ErrNoHealthyReplica", err)
 	}
@@ -174,7 +174,7 @@ func TestRetryOnCrashAccounting(t *testing.T) {
 	waitUntil(t, 5*time.Second, "victim has in-flight queries", func() bool {
 		return victim.outstanding.Load() >= 2
 	})
-	victim.svc.Fail()
+	victim.svc.(faulter).Fail()
 	wg.Wait()
 
 	for i, err := range errs {

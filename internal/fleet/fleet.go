@@ -59,15 +59,18 @@ var ErrLastReplica = errors.New("fleet: cannot drain the last routable replica")
 // from a shutdown.
 var ErrNoHealthyReplica = errors.New("fleet: no healthy routable replica")
 
-// replica is one member: a live.Service plus the front end's own routing
-// state. outstanding counts queries routed but not yet returned (the
-// least-loaded signal); inflight guards the drain — Remove waits on it
-// before closing the service, so a membership change never races a Submit
-// into a closed replica.
+// replica is one member: a serving Backend plus the front end's own routing
+// state. The backend is a *live.Service for local (in-process) members and
+// a wire transport (internal/rpc.RemoteReplica) for remote ones; routing,
+// drain, and stats code below never distinguishes them. outstanding counts
+// queries routed but not yet returned (the least-loaded signal); inflight
+// guards the drain — Remove waits on it before closing the backend, so a
+// membership change never races a Submit into a closed replica.
 type replica struct {
 	id       int
-	svc      *live.Service
-	cfg      live.Config // kept for chaos restart: a crashed replica is reborn from its own config
+	svc      Backend
+	cfg      live.Config // local members only: kept for chaos restart — a crashed replica is reborn from its own config
+	local    bool        // started by this fleet from cfg (chaos and autoscale shrink apply only to these)
 	hasGPU   bool
 	speed    float64
 	draining bool // guarded by the fleet's mu
@@ -229,13 +232,19 @@ func tenantInfosFrom(cfg live.Config) ([]TenantInfo, error) {
 	return infos, nil
 }
 
-// add starts one replica and joins it to the routing set. Every member
-// must host the fleet's tenant set: same count, same names, same order.
+// add starts one local replica from cfg and joins it to the routing set.
 func (f *Fleet) add(cfg live.Config) (int, error) {
 	svc, err := live.New(cfg)
 	if err != nil {
 		return 0, err
 	}
+	return f.join(svc, cfg, true, cfg.GPU != nil, svc.Scale())
+}
+
+// join adds a serving backend — local or remote — to the routing set. Every
+// member must host the fleet's tenant set: same count, same names, same
+// order. On any error the backend is closed (join took ownership).
+func (f *Fleet) join(svc Backend, cfg live.Config, local, hasGPU bool, speed float64) (int, error) {
 	if svc.TenantCount() != len(f.tenants) {
 		svc.Close()
 		return 0, fmt.Errorf("fleet: replica hosts %d tenants, fleet has %d", svc.TenantCount(), len(f.tenants))
@@ -258,8 +267,9 @@ func (f *Fleet) add(cfg live.Config) (int, error) {
 		id:        id,
 		svc:       svc,
 		cfg:       cfg,
-		hasGPU:    cfg.GPU != nil,
-		speed:     svc.Scale(),
+		local:     local,
+		hasGPU:    hasGPU,
+		speed:     speed,
 		tenantOut: make([]atomic.Int64, len(f.tenants)),
 	})
 	f.mu.Unlock()

@@ -1,0 +1,356 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/deeprecinfra/deeprecsys/internal/fleet"
+	"github.com/deeprecinfra/deeprecsys/internal/live"
+	"github.com/deeprecinfra/deeprecsys/internal/model"
+	"github.com/deeprecinfra/deeprecsys/internal/stats"
+)
+
+// RemoteConfig parameterizes a RemoteReplica. The zero value works.
+type RemoteConfig struct {
+	// Client tunes the underlying wire client. MaxAttempts defaults to 1
+	// here (not the client library's 3): the FLEET is the retry layer for
+	// replica members — its one-retry-on-crash policy re-routes to a
+	// different replica, which beats re-hammering the one that just
+	// failed.
+	Client ClientConfig
+	// ProbeInterval is the /healthz polling period backing Failed()
+	// (default 250ms). ProbeTimeout bounds each probe (default
+	// ProbeInterval).
+	ProbeInterval, ProbeTimeout time.Duration
+	// StatsTTL bounds how stale the cached /statsz snapshot behind
+	// Stats()/BatchSize()/... may be (default 100ms).
+	StatsTTL time.Duration
+}
+
+// RemoteReplica is a fleet.Backend served by another process: the wire
+// client dressed in the replica interface, so a Fleet routes to it —
+// health-checked ejection, one-retry-on-crash, stats merging — exactly as
+// it routes to an in-process live.Service.
+//
+// Semantics that keep the fleet's invariants intact across the wire:
+//
+//   - Submit errors arrive pre-mapped to the in-process sentinels
+//     (connect failures and drain refusals unwrap to live.ErrReplicaDown),
+//     so the fleet's retry predicate fires unchanged.
+//   - Failed() is backed by a /healthz prober plus instant demotion on a
+//     connect error, so routing stops sending to a dead process within a
+//     probe period.
+//   - Stats() serves a TTL-cached /statsz snapshot, falling back to the
+//     last good one when the server is unreachable; Close caches a final
+//     snapshot first, because the fleet folds a removed member's counters
+//     AFTER closing it. A crash between snapshots can lose the final few
+//     counts from the fleet's merged view — the remote process's own
+//     ledger remains exact, which is where conservation is asserted.
+//   - A submit that provably never reached the server (connect error: the
+//     wire refused before delivery) appears in no server-side ledger, which
+//     would break the fleet's front-door identity sum(replica Submitted) ==
+//     FrontSubmitted + Retried. The replica keeps a client-side overlay for
+//     exactly these: each counts as Submitted and Failed in Stats(), so the
+//     identity — and per-replica conservation — stay exact over a lossy
+//     wire. Resets need no overlay (the server executed and counted the
+//     query); a deadline that fires mid-flight is genuinely ambiguous, and
+//     identity tests avoid it.
+//   - LatencySnapshot() reports client-side measured RTTs, not the
+//     server's own windows: to the routing tier, the wire is part of the
+//     replica's latency, and load-aware policies should see it.
+type RemoteReplica struct {
+	target string
+	client *Client
+	cfg    RemoteConfig
+
+	tenants []string
+
+	lat       *stats.Window
+	tenantLat []*stats.Window
+
+	// wireLost counts submits per tenant that provably never reached the
+	// server (connect errors); they overlay the fetched ledger as
+	// Submitted+Failed so fleet-level identities stay exact.
+	wireLost []atomic.Uint64
+
+	failed atomic.Bool
+	closed atomic.Bool
+
+	statsMu   sync.Mutex
+	statsAt   time.Time
+	lastStats StatsResponse
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRemoteReplica dials target and wraps it in the replica interface. It
+// fails if the server is unreachable: joining a fleet with a dead member
+// is a misconfiguration, not a fault to route around.
+func NewRemoteReplica(target string, cfg RemoteConfig) (*RemoteReplica, error) {
+	if cfg.Client.MaxAttempts == 0 {
+		cfg.Client.MaxAttempts = 1
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval
+	}
+	if cfg.StatsTTL <= 0 {
+		cfg.StatsTTL = 100 * time.Millisecond
+	}
+	client, err := NewClient(target, cfg.Client)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	st, err := client.Statsz(ctx)
+	if err != nil {
+		client.Close()
+		return nil, fmt.Errorf("rpc: remote replica %s unreachable: %w", target, err)
+	}
+	r := &RemoteReplica{
+		target:    target,
+		client:    client,
+		cfg:       cfg,
+		lat:       stats.NewWindow(512),
+		lastStats: st,
+		statsAt:   time.Now(),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, t := range st.Tenants {
+		r.tenants = append(r.tenants, t.Name)
+		r.tenantLat = append(r.tenantLat, stats.NewWindow(512))
+	}
+	if len(r.tenants) == 0 {
+		// Single-model server: one anonymous tenant, as in live.New.
+		r.tenants = []string{""}
+		r.tenantLat = []*stats.Window{r.lat}
+	}
+	r.wireLost = make([]atomic.Uint64, len(r.tenants))
+	go r.prober()
+	return r, nil
+}
+
+// Target returns the remote server's address.
+func (r *RemoteReplica) Target() string { return r.target }
+
+// Client exposes the underlying wire client (for its Stats ledger).
+func (r *RemoteReplica) Client() *Client { return r.client }
+
+// prober polls /healthz, driving Failed() — the signal the fleet's router
+// keys ejection off.
+func (r *RemoteReplica) prober() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+		err := r.client.Healthz(ctx)
+		cancel()
+		r.failed.Store(err != nil)
+	}
+}
+
+// Submit sends the query over the wire, mapping the fleet's tenant index
+// to the wire's tenant name and the wire's failure taxonomy back to the
+// in-process sentinels.
+func (r *RemoteReplica) Submit(ctx context.Context, q live.Query) (live.Reply, error) {
+	if r.closed.Load() {
+		return live.Reply{}, live.ErrClosed
+	}
+	if q.Tenant < 0 || q.Tenant >= len(r.tenants) {
+		return live.Reply{}, fmt.Errorf("rpc: tenant index %d outside [0, %d)", q.Tenant, len(r.tenants))
+	}
+	req := RecommendRequest{Candidates: q.Candidates, TopN: q.TopN, Tenant: r.tenants[q.Tenant]}
+	start := time.Now()
+	resp, err := r.client.Recommend(ctx, req)
+	rtt := time.Since(start)
+	if err != nil {
+		var re *Error
+		if errors.As(err, &re) && re.Code == codeConnect {
+			// Don't wait out a probe period to stop routing at a corpse.
+			r.failed.Store(true)
+			// The query reached no server-side ledger; count it here so the
+			// fleet's merged view still conserves it.
+			r.wireLost[q.Tenant].Add(1)
+		}
+		return live.Reply{}, err
+	}
+	r.lat.Add(rtt.Seconds())
+	r.tenantLat[q.Tenant].Add(rtt.Seconds())
+	reply := live.Reply{
+		Latency:   rtt, // the replica's latency includes its wire
+		BatchSize: resp.Batch,
+		Offloaded: resp.Offloaded,
+		Degraded:  resp.Degraded,
+		Tenant:    q.Tenant,
+	}
+	if len(resp.Recs) > 0 {
+		reply.Recs = make([]model.Ranked, len(resp.Recs))
+		for i, rec := range resp.Recs {
+			reply.Recs[i] = model.Ranked{Item: rec.Item, CTR: rec.CTR}
+		}
+	}
+	return reply, nil
+}
+
+// statsz returns the cached /statsz snapshot, refreshing it when older
+// than the TTL and the server is reachable; otherwise the last good
+// snapshot serves (a dead replica's lifetime counters do not regress to
+// zero — the fleet folds them on removal).
+func (r *RemoteReplica) statsz() StatsResponse {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	if r.closed.Load() || time.Since(r.statsAt) < r.cfg.StatsTTL {
+		return r.lastStats
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+	defer cancel()
+	st, err := r.client.Statsz(ctx)
+	if err == nil {
+		r.lastStats = st
+	}
+	r.statsAt = time.Now()
+	return r.lastStats
+}
+
+// Stats returns the remote backend's merged lifetime ledger, with the
+// online latency view overridden by client-side RTT measurements and
+// wire-lost submits folded in as Submitted+Failed.
+func (r *RemoteReplica) Stats() live.Stats {
+	st := r.statsz().Service
+	r.overlayLatency(&st, r.lat)
+	var lost uint64
+	for i := range r.wireLost {
+		lost += r.wireLost[i].Load()
+	}
+	st.Submitted += lost
+	st.Failed += lost
+	return st
+}
+
+// TenantStats returns tenant i's slice of the remote ledger.
+func (r *RemoteReplica) TenantStats(i int) live.Stats {
+	sz := r.statsz()
+	if i < 0 || i >= len(r.tenants) {
+		return live.Stats{}
+	}
+	var st live.Stats
+	if i < len(sz.Tenants) {
+		st = sz.Tenants[i].Stats
+	} else {
+		// Single-model server: the anonymous tenant is the whole service.
+		st = sz.Service
+	}
+	r.overlayLatency(&st, r.tenantLat[i])
+	lost := r.wireLost[i].Load()
+	st.Submitted += lost
+	st.Failed += lost
+	return st
+}
+
+// overlayLatency swaps the server-measured online percentiles for the
+// client-observed ones when enough RTTs have been seen: the wire is part
+// of this replica's service time from where the fleet stands.
+func (r *RemoteReplica) overlayLatency(st *live.Stats, w *stats.Window) {
+	if w.Len() == 0 {
+		return
+	}
+	st.P50 = time.Duration(w.Percentile(50) * float64(time.Second))
+	st.P95 = time.Duration(w.Percentile(95) * float64(time.Second))
+	st.WindowLen = w.Len()
+}
+
+func (r *RemoteReplica) TenantCount() int { return len(r.tenants) }
+
+func (r *RemoteReplica) TenantName(i int) string {
+	if i < 0 || i >= len(r.tenants) {
+		return ""
+	}
+	return r.tenants[i]
+}
+
+// LatencySnapshot returns the client-observed RTT window (seconds).
+func (r *RemoteReplica) LatencySnapshot() []float64 { return r.lat.Snapshot() }
+
+// TenantLatencySnapshot returns tenant i's client-observed RTT window.
+func (r *RemoteReplica) TenantLatencySnapshot(i int) []float64 {
+	if i < 0 || i >= len(r.tenantLat) {
+		return nil
+	}
+	return r.tenantLat[i].Snapshot()
+}
+
+func (r *RemoteReplica) BatchSize() int { return r.statsz().Service.BatchSize }
+
+func (r *RemoteReplica) GPUThreshold() int { return r.statsz().Service.GPUThreshold }
+
+// SetBatchSize applies the knob on the remote server.
+func (r *RemoteReplica) SetBatchSize(b int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := r.client.SetKnobs(ctx, b, -1)
+	return err
+}
+
+// SetGPUThreshold applies the knob on the remote server.
+func (r *RemoteReplica) SetGPUThreshold(thr int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := r.client.SetKnobs(ctx, -1, thr)
+	return err
+}
+
+// Scale reports the remote backend's service-time scale factor.
+func (r *RemoteReplica) Scale() float64 {
+	if s := r.statsz().Scale; s > 0 {
+		return s
+	}
+	return 1
+}
+
+// Failed reports the prober's current verdict (true also immediately
+// after any connect error on the submit path).
+func (r *RemoteReplica) Failed() bool { return r.failed.Load() }
+
+// Close detaches from the remote server: a final stats snapshot is cached
+// (the fleet folds counters after Close), the prober stops, and idle
+// connections drop. The remote process itself keeps serving — closing a
+// handle is not a shutdown order.
+func (r *RemoteReplica) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	// Final fetch before the cache freezes, so the folded counters are as
+	// complete as the wire allows.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	st, err := r.client.Statsz(ctx)
+	cancel()
+	if err == nil {
+		r.statsMu.Lock()
+		r.lastStats = st
+		r.statsAt = time.Now()
+		r.statsMu.Unlock()
+	}
+	close(r.stop)
+	<-r.done
+	r.client.Close()
+	return nil
+}
+
+// Compile-time interface check: the wire replica must keep satisfying the
+// fleet's transport interface.
+var _ fleet.Backend = (*RemoteReplica)(nil)

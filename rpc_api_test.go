@@ -1,0 +1,142 @@
+package deeprecsys_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	deeprecsys "github.com/deeprecinfra/deeprecsys"
+)
+
+// TestServeOverTheWire publishes a Service on HTTP and drives it with the
+// public RemoteClient: recommendations round-trip, probes answer, and a
+// graceful drain refuses new work while the underlying service survives.
+func TestServeOverTheWire(t *testing.T) {
+	sys, err := deeprecsys.NewSystem("NCF", "skylake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := sys.Serve(deeprecsys.ServeOptions{Workers: 2, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	srv, err := svc.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := deeprecsys.NewRemoteClient("http://"+srv.Addr(), deeprecsys.ClientOptions{
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	if err := client.Healthy(ctx); err != nil {
+		t.Fatalf("healthy: %v", err)
+	}
+	reply, err := client.Recommend(ctx, 40, 3)
+	if err != nil {
+		t.Fatalf("recommend: %v", err)
+	}
+	if len(reply.Recs) != 3 || reply.Latency <= 0 {
+		t.Fatalf("reply = %+v, want 3 recs and positive latency", reply)
+	}
+
+	if c := srv.Counters(); c.Requests != 1 || c.OK != 1 {
+		t.Fatalf("server counters %+v, want 1 request / 1 ok", c)
+	}
+	if cs := client.Stats(); cs.Requests != 1 || cs.Successes != 1 {
+		t.Fatalf("client stats %+v, want 1 request / 1 success", cs)
+	}
+
+	// Graceful drain: the wire refuses, the service itself keeps serving
+	// in-process until its own Close.
+	drainCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if client.Healthy(ctx) == nil {
+		t.Fatal("healthy should fail after drain")
+	}
+	if _, err := svc.Submit(ctx, 40, 3); err != nil {
+		t.Fatalf("in-process submit after wire drain: %v", err)
+	}
+	st := svc.Stats()
+	if st.Submitted != 2 || st.Completed != 2 {
+		t.Fatalf("service ledger %d/%d, want 2 submitted / 2 completed", st.Submitted, st.Completed)
+	}
+}
+
+// TestAddRemoteReplica joins a second process's published service to a
+// local fleet and checks traffic actually crosses the wire.
+func TestAddRemoteReplica(t *testing.T) {
+	sys, err := deeprecsys.NewSystem("NCF", "skylake")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The "other process": a single-replica service on the wire.
+	backend, err := sys.Serve(deeprecsys.ServeOptions{Workers: 1, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	bsrv, err := backend.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsrv.Close()
+
+	// The front end: a two-replica local fleet that adopts the remote.
+	front, err := sys.Serve(deeprecsys.ServeOptions{Workers: 1, BatchSize: 16, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	if _, err := front.AddRemoteReplica("http://" + bsrv.Addr()); err != nil {
+		t.Fatalf("add remote replica: %v", err)
+	}
+
+	ctx := context.Background()
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := front.Submit(ctx, 32, 0); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	// The remote member's counters reach the merged view through a
+	// TTL-cached /statsz snapshot; poll until it converges.
+	var st deeprecsys.ServiceStats
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st = front.Stats()
+		if st.Completed == n || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.Submitted != n || st.Completed != n {
+		t.Fatalf("front ledger %d/%d, want %d/%d", st.Submitted, st.Completed, n, n)
+	}
+	if c := bsrv.Counters(); c.OK == 0 {
+		t.Fatal("no query crossed the wire to the remote replica")
+	}
+
+	// A single-replica service has no fleet to join anything to.
+	single, err := sys.Serve(deeprecsys.ServeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if _, err := single.AddRemoteReplica("http://" + bsrv.Addr()); !errors.Is(err, deeprecsys.ErrNotFleet) {
+		t.Fatalf("got %v, want ErrNotFleet", err)
+	}
+}
